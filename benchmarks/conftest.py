@@ -1,0 +1,35 @@
+"""Shared helpers for the benchmark suite.
+
+Each bench regenerates one figure/table of the paper.  Reports are
+printed (visible with ``pytest -s``) and also written to
+``benchmarks/results/<name>.txt`` so they survive output capture.
+
+Scale: set ``REPRO_BENCH_SCALE`` (default 1.0) to shrink or grow the
+operation counts; e.g. ``REPRO_BENCH_SCALE=0.25 pytest benchmarks/``
+for a quick pass.  Results for identical (benchmark, scheme, config)
+tuples are cached per process, so the Figure 6/7/8 benches share one
+sweep.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def save_report(name: str, report: str) -> None:
+    """Print a report and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(report + "\n")
+    print()
+    print(report)
+
+
+@pytest.fixture
+def bench_threads() -> int:
+    """Core count for the sweeps (the paper uses 4)."""
+    return int(os.environ.get("REPRO_BENCH_THREADS", "4"))

@@ -1,0 +1,21 @@
+"""Figure 10: speedup on battery-backed DRAM (NVDIMM).
+
+Paper reference (geomeans): ATOM 1.31, Proteus 1.47, ideal 1.52 —
+Proteus keeps its advantage even when memory is fast.
+"""
+
+from benchmarks.conftest import save_report
+from repro.analysis import fig10_dram
+from repro.core.schemes import Scheme
+
+
+def test_fig10_dram(benchmark, bench_threads):
+    result = benchmark.pedantic(
+        fig10_dram, kwargs=dict(threads=bench_threads),
+        rounds=1, iterations=1,
+    )
+    save_report("fig10_dram", result.report())
+
+    geo = {label: values[-1] for label, values in result.rows.items()}
+    assert geo[str(Scheme.PROTEUS)] > geo[str(Scheme.ATOM)]
+    assert geo[str(Scheme.PROTEUS)] <= geo[str(Scheme.PMEM_NOLOG)] * 1.03

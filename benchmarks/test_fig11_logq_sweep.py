@@ -1,0 +1,22 @@
+"""Figure 11: Proteus speedup vs LogQ size (1 to 64 entries).
+
+Paper reference: speedup grows with LogQ size and saturates around
+8-16 entries (1.44x at 8, 1.47x at 64).
+"""
+
+from benchmarks.conftest import save_report
+from repro.analysis import fig11_logq_sweep
+
+
+def test_fig11_logq_sweep(benchmark, bench_threads):
+    result = benchmark.pedantic(
+        fig11_logq_sweep, kwargs=dict(threads=bench_threads),
+        rounds=1, iterations=1,
+    )
+    save_report("fig11_logq_sweep", result.report())
+
+    geo = [result.rows[f"LogQ={size}"][-1] for size in (1, 2, 4, 8, 16, 32, 64)]
+    # Monotone-ish growth with diminishing returns past 8 entries.
+    assert geo[3] > geo[0]                      # 8 beats 1
+    assert geo[-1] >= geo[3] * 0.98             # 64 is not worse than 8
+    assert geo[-1] - geo[3] < geo[3] - geo[0]   # saturation

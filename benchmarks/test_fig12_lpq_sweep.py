@@ -1,0 +1,22 @@
+"""Figure 12: Proteus speedup vs LPQ size (LogQ fixed at 16).
+
+Paper reference: performance is flat once the LPQ covers a
+transaction's log footprint and drops rapidly below it.
+"""
+
+from benchmarks.conftest import save_report
+from repro.analysis import fig12_lpq_sweep
+
+
+def test_fig12_lpq_sweep(benchmark, bench_threads):
+    result = benchmark.pedantic(
+        fig12_lpq_sweep, kwargs=dict(threads=bench_threads),
+        rounds=1, iterations=1,
+    )
+    save_report("fig12_lpq_sweep", result.report())
+
+    small = result.rows["LPQ=8"][-1]
+    large = result.rows["LPQ=256"][-1]
+    assert large >= small                       # more LPQ never hurts
+    plateau = result.rows["LPQ=128"][-1]
+    assert abs(large - plateau) / large < 0.05  # flat once large enough

@@ -1,0 +1,23 @@
+"""Figure 6: speedup on fast NVMM over the PMEM software-logging baseline.
+
+Paper reference (geometric means over the six benchmarks):
+PMEM+pcommit 0.79, ATOM 1.33, Proteus 1.46, PMEM+nolog 1.51.
+"""
+
+from benchmarks.conftest import save_report
+from repro.analysis import fig6_speedup_nvm
+
+
+def test_fig6_speedup_nvm(benchmark, bench_threads):
+    result = benchmark.pedantic(
+        fig6_speedup_nvm, kwargs=dict(threads=bench_threads),
+        rounds=1, iterations=1,
+    )
+    save_report("fig6_speedup_nvm", result.report())
+
+    geo = {label: values[-1] for label, values in result.rows.items()}
+    # Qualitative shape assertions (who wins, roughly by how much).
+    assert geo["PMEM+pcommit"] < 1.0
+    assert 1.0 < geo["ATOM"] < geo["Proteus"]
+    assert geo["Proteus"] <= geo["PMEM+nolog"] * 1.03
+    assert geo["Proteus"] / geo["ATOM"] > 1.02  # Proteus beats ATOM

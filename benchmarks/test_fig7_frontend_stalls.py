@@ -1,0 +1,21 @@
+"""Figure 7: front-end stall cycles normalized to PMEM+nolog.
+
+Paper reference: ATOM has ~16% more stalls than the ideal case and ~12%
+more than Proteus; Proteus is only ~4% above ideal.
+"""
+
+from benchmarks.conftest import save_report
+from repro.analysis import fig7_frontend_stalls
+
+
+def test_fig7_frontend_stalls(benchmark, bench_threads):
+    result = benchmark.pedantic(
+        fig7_frontend_stalls, kwargs=dict(threads=bench_threads),
+        rounds=1, iterations=1,
+    )
+    save_report("fig7_frontend_stalls", result.report())
+
+    measured = result.measured_summary
+    # ATOM pressures the pipeline more than Proteus.
+    assert measured["ATOM / Proteus"] > 1.0
+    assert measured["ATOM / ideal"] > measured["Proteus / ideal"]

@@ -1,0 +1,24 @@
+"""Figure 8: NVMM writes normalized to PMEM+nolog.
+
+Paper reference: ATOM averages ~3.4x (up to ~6x on AT); Proteus stays
+within ~6% of the no-logging case thanks to LPQ flash clearing.
+"""
+
+from benchmarks.conftest import save_report
+from repro.analysis import fig8_nvm_writes
+from repro.core.schemes import Scheme
+
+
+def test_fig8_nvm_writes(benchmark, bench_threads):
+    result = benchmark.pedantic(
+        fig8_nvm_writes, kwargs=dict(threads=bench_threads),
+        rounds=1, iterations=1,
+    )
+    save_report("fig8_nvm_writes", result.report())
+
+    atom = result.rows[str(Scheme.ATOM)]
+    proteus = result.rows[str(Scheme.PROTEUS)]
+    nolwr = result.rows[str(Scheme.PROTEUS_NOLWR)]
+    assert atom[-1] > 2.5                     # heavy amplification
+    assert max(proteus[:-1]) < 1.15           # Proteus near-ideal
+    assert all(n >= p for n, p in zip(nolwr, proteus))

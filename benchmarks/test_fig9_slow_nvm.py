@@ -1,0 +1,21 @@
+"""Figure 9: speedup on slow NVMM (300 ns writes, 50 ns reads).
+
+Paper reference (geomeans): ATOM 1.33, Proteus 1.49, ideal 1.53 —
+Proteus's advantage grows with write latency while ATOM's does not.
+"""
+
+from benchmarks.conftest import save_report
+from repro.analysis import fig9_slow_nvm
+from repro.core.schemes import Scheme
+
+
+def test_fig9_slow_nvm(benchmark, bench_threads):
+    result = benchmark.pedantic(
+        fig9_slow_nvm, kwargs=dict(threads=bench_threads),
+        rounds=1, iterations=1,
+    )
+    save_report("fig9_slow_nvm", result.report())
+
+    geo = {label: values[-1] for label, values in result.rows.items()}
+    assert geo[str(Scheme.PROTEUS)] > geo[str(Scheme.ATOM)]
+    assert geo[str(Scheme.PROTEUS)] <= geo[str(Scheme.PMEM_NOLOG)] * 1.03

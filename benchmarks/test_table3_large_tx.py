@@ -1,0 +1,29 @@
+"""Table 3: large transactions (linked-list microbenchmark).
+
+Paper reference: with 1024-8192 element updates per transaction,
+Proteus stays within a few percent of the no-logging ideal
+(1.20-1.24 vs 1.23-1.27 over the PMEM baseline).
+"""
+
+from benchmarks.conftest import save_report
+from repro.analysis import table3_large_transactions
+
+
+def test_table3_large_transactions(benchmark):
+    result = benchmark.pedantic(
+        table3_large_transactions, rounds=1, iterations=1,
+    )
+    save_report("table3_large_tx", result.report())
+
+    proteus = result.rows["Proteus"]
+    fitted = result.rows["Proteus (LPQ=tx)"]
+    ideal = result.rows["PMEM+nolog(ideal)"]
+    for p, f, i in zip(proteus, fitted, ideal):
+        assert p > 1.0            # Proteus always beats software logging
+        assert f <= i * 1.05      # LPQ-fitted Proteus tracks the ideal
+    # With the transaction footprint held in the LPQ, the gap to ideal
+    # stays small at every size (the paper's Table 3 result).  The
+    # default-LPQ row shows the spill cost of our single-channel
+    # substrate (documented in EXPERIMENTS.md).
+    gaps = [i / f for f, i in zip(fitted, ideal)]
+    assert max(gaps) < 1.15

@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Crash a persistent hash map at random points and recover it.
+
+Demonstrates the functional persistence layer: the same workload trace
+is crashed at hundreds of random transaction phases with random
+writeback interleavings, recovered with the scheme's undo log, and
+validated against transaction atomicity — and the same crashes are shown
+to corrupt the store when logging is disabled.
+
+Usage::
+
+    python examples/crash_recovery.py [--scheme Proteus] [--crashes 200]
+"""
+
+import argparse
+import random
+
+from repro import Scheme
+from repro.persistence import (
+    CrashPoint,
+    Phase,
+    build_functional_txs,
+    crash_image,
+    image_after,
+    recover,
+)
+from repro.persistence.model import images_equal
+from repro.persistence.recovery import RecoveryError, verify_atomicity
+from repro.workloads import HashMapWorkload
+
+
+def random_crash(rng, scheme, txs):
+    """Draw a random crash point respecting the scheme's ordering rules."""
+    k = rng.randrange(len(txs))
+    tx = txs[k]
+    phases = [Phase.BEFORE, Phase.IN_FLIGHT, Phase.FLUSHED, Phase.COMMITTED]
+    if scheme.is_software:
+        phases += [Phase.LOGGING, Phase.FLAGGED]
+    phase = rng.choice(phases)
+    log_durable = None
+    data_durable = None
+    if phase is Phase.IN_FLIGHT:
+        if scheme.is_software:
+            n = len(tx.written_lines)
+            data_durable = frozenset(
+                i for i in range(n) if rng.random() < 0.5
+            )
+        else:
+            # Log-before-data: pick log entries first, then only data
+            # lines whose entries are durable.
+            log_set = {
+                i for i in range(len(tx.log_entries)) if rng.random() < 0.7
+            }
+            durable_blocks = {tx.log_entries[i].block for i in log_set}
+            eligible = []
+            for index, line in enumerate(tx.written_lines):
+                covering = [
+                    i for i, e in enumerate(tx.log_entries)
+                    if not (e.block + e.grain <= line or line + 64 <= e.block)
+                ]
+                if set(covering) <= log_set:
+                    eligible.append(index)
+            data_durable = frozenset(
+                i for i in eligible if rng.random() < 0.5
+            )
+            log_durable = frozenset(log_set)
+    return CrashPoint(k, phase, log_durable=log_durable, data_durable=data_durable)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scheme", default="Proteus",
+        choices=[s.value for s in Scheme if s.failure_safe],
+    )
+    parser.add_argument("--crashes", type=int, default=200)
+    parser.add_argument("--transactions", type=int, default=40)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+    scheme = Scheme(args.scheme)
+    rng = random.Random(args.seed)
+
+    print(f"Building a persistent hash map trace "
+          f"({args.transactions} transactions)...")
+    workload = HashMapWorkload(
+        thread_id=0, seed=args.seed, init_ops=300, sim_ops=args.transactions
+    )
+    trace = workload.generate()
+    initial, txs = build_functional_txs(trace, scheme)
+    candidates = [image_after(initial, txs, k) for k in range(len(txs) + 1)]
+
+    print(f"Injecting {args.crashes} random crashes under {scheme} ...")
+    recovered_counts = {}
+    for _ in range(args.crashes):
+        crash = random_crash(rng, scheme, txs)
+        image = crash_image(initial, txs, scheme, crash)
+        recovered = recover(image)
+        k = verify_atomicity(recovered, candidates)
+        recovered_counts[k] = recovered_counts.get(k, 0) + 1
+
+    print(f"  all {args.crashes} crashes recovered to a transaction "
+          f"boundary (atomicity held)")
+    spread = sorted(recovered_counts)
+    print(f"  recovery points spanned transactions "
+          f"{spread[0]}..{spread[-1]}")
+
+    # Now show that *no logging* really is unsafe: find a crash whose
+    # torn state matches no transaction boundary.
+    print()
+    print("Control experiment: the same store without any logging ...")
+    initial_n, txs_n = build_functional_txs(trace, Scheme.PMEM_NOLOG)
+    torn = 0
+    for _ in range(args.crashes):
+        k = rng.randrange(len(txs_n))
+        n = len(txs_n[k].written_lines)
+        subset = frozenset(i for i in range(n) if rng.random() < 0.5)
+        image = crash_image(
+            initial_n, txs_n, Scheme.PMEM_NOLOG,
+            CrashPoint(k, Phase.IN_FLIGHT, data_durable=subset),
+        )
+        # No recovery possible; check the raw durable state directly.
+        try:
+            verify_atomicity(image.durable, candidates)
+        except RecoveryError:
+            torn += 1
+    print(f"  {torn}/{args.crashes} crash states were torn "
+          f"(not a transaction boundary) — unsafe without a log")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Explore the Proteus design space: LogQ / LLT / LPQ sizing and memory
+technology sensitivity.
+
+A miniature version of the paper's Section 7 sensitivity study: sweeps
+one hardware structure at a time on a chosen benchmark and prints the
+speedup over software logging, plus the NVM write savings of log write
+removal as memory latency varies.
+
+Usage::
+
+    python examples/design_space.py [--benchmark AT] [--ops 30]
+"""
+
+import argparse
+
+from repro import (
+    BASELINE,
+    Scheme,
+    dram_config,
+    fast_nvm_config,
+    run_trace,
+    slow_nvm_config,
+)
+from repro.workloads import WORKLOADS
+from repro.workloads.base import generate_traces
+
+
+def sweep(traces, base_cycles, configs, label):
+    print(f"\n{label}")
+    for name, config in configs:
+        result = run_trace(traces, Scheme.PROTEUS, config)
+        print(f"  {name:>10s}: speedup {base_cycles / result.cycles:5.2f}x, "
+              f"NVM writes {result.nvm_writes:6,d}, "
+              f"LLT miss rate {100 * result.stats.llt_miss_rate():5.1f}%")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--benchmark", default="AT", choices=sorted(WORKLOADS))
+    parser.add_argument("--ops", type=int, default=30)
+    parser.add_argument("--threads", type=int, default=2)
+    args = parser.parse_args()
+
+    print(f"Generating {args.benchmark} traces...")
+    traces = generate_traces(
+        WORKLOADS[args.benchmark],
+        threads=args.threads,
+        seed=13,
+        init_ops=3000,
+        sim_ops=args.ops,
+    )
+    base_config = fast_nvm_config(cores=args.threads)
+    base = run_trace(traces, BASELINE, base_config)
+    print(f"PMEM software-logging baseline: {base.cycles:,} cycles")
+
+    sweep(
+        traces, base.cycles,
+        [(f"LogQ={n}", base_config.with_proteus(logq_entries=n))
+         for n in (1, 4, 8, 16, 64)],
+        "LogQ size sweep (paper Figure 11):",
+    )
+    sweep(
+        traces, base.cycles,
+        [(f"LLT={n}", base_config.with_proteus(llt_entries=n, llt_ways=min(8, n)))
+         for n in (8, 16, 64, 256)],
+        "LLT size sweep:",
+    )
+    sweep(
+        traces, base.cycles,
+        [(f"LPQ={n}", base_config.with_proteus(lpq_entries=n))
+         for n in (8, 32, 256)],
+        "LPQ size sweep (paper Figure 12):",
+    )
+
+    print("\nMemory technology sensitivity (paper Figures 9-10):")
+    for label, config in (
+        ("DRAM", dram_config(cores=args.threads)),
+        ("fast NVM", fast_nvm_config(cores=args.threads)),
+        ("slow NVM", slow_nvm_config(cores=args.threads)),
+    ):
+        tech_base = run_trace(traces, BASELINE, config)
+        proteus = run_trace(traces, Scheme.PROTEUS, config)
+        nolwr = run_trace(traces, Scheme.PROTEUS_NOLWR, config)
+        saved = nolwr.nvm_writes - proteus.nvm_writes
+        print(f"  {label:>8s}: Proteus speedup "
+              f"{tech_base.cycles / proteus.cycles:5.2f}x; log write removal "
+              f"avoided {saved:,} NVM writes "
+              f"({saved / max(1, nolwr.nvm_writes):.0%} of NoLWR's)")
+
+
+if __name__ == "__main__":
+    main()

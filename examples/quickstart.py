@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Quickstart: compare every logging scheme on one benchmark.
+
+Runs the queue benchmark (QE) under all six durable-transaction schemes
+on the default fast-NVM machine and prints cycles, speedup over the
+PMEM software-logging baseline, and NVM write counts — a miniature
+version of the paper's Figures 6 and 8.
+
+Usage::
+
+    python examples/quickstart.py [--benchmark QE] [--threads 2] [--ops 40]
+"""
+
+import argparse
+
+from repro import BASELINE, Scheme, fast_nvm_config, run_trace
+from repro.workloads import WORKLOADS, make_workload
+from repro.workloads.base import generate_traces
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--benchmark", default="QE", choices=sorted(WORKLOADS))
+    parser.add_argument("--threads", type=int, default=2)
+    parser.add_argument("--ops", type=int, default=40,
+                        help="transactions per thread")
+    parser.add_argument("--init", type=int, default=2000,
+                        help="initialization operations per thread")
+    args = parser.parse_args()
+
+    print(f"Generating {args.benchmark} traces "
+          f"({args.threads} threads x {args.ops} transactions)...")
+    traces = generate_traces(
+        WORKLOADS[args.benchmark],
+        threads=args.threads,
+        seed=42,
+        init_ops=args.init,
+        sim_ops=args.ops,
+    )
+    config = fast_nvm_config(cores=args.threads)
+    for key, value in config.describe().items():
+        print(f"  {key}: {value}")
+    print()
+
+    results = {}
+    for scheme in Scheme:
+        results[scheme] = run_trace(traces, scheme, config)
+        print(f"  simulated {scheme} ...")
+
+    base = results[BASELINE]
+    nolog_writes = max(1, results[Scheme.PMEM_NOLOG].nvm_writes)
+    print()
+    print(f"{'scheme':15s} {'cycles':>10s} {'speedup':>8s} "
+          f"{'NVM writes':>11s} {'writes/ideal':>12s}")
+    for scheme, result in results.items():
+        print(
+            f"{scheme!s:15s} {result.cycles:>10,d} "
+            f"{result.speedup_over(base):>8.2f} "
+            f"{result.nvm_writes:>11,d} "
+            f"{result.nvm_writes / nolog_writes:>12.2f}"
+        )
+
+    proteus = results[Scheme.PROTEUS]
+    print()
+    print(f"Proteus is {proteus.speedup_over(base):.2f}x the software-logging "
+          f"baseline and writes {proteus.nvm_writes / nolog_writes:.2f}x the "
+          f"ideal number of NVM lines.")
+
+
+if __name__ == "__main__":
+    main()

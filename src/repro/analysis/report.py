@@ -1,0 +1,103 @@
+"""Report formatting for experiment output.
+
+Plain-text tables in the layout the paper's figures use: benchmarks as
+columns, schemes (or parameter values) as rows, geometric mean last.
+Every experiment prints a paper-vs-measured block so deviations are
+visible in the bench output itself.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+
+def format_table(
+    title: str,
+    columns: Sequence[str],
+    rows: Mapping[str, Sequence[float]],
+    value_format: str = "{:.2f}",
+    row_header: str = "",
+) -> str:
+    """Render a labeled table of numeric rows.
+
+    ``rows`` maps a row label to one value per column.
+    """
+    widths = [max(len(col), 6) for col in columns]
+    label_width = max(
+        [len(row_header)] + [len(label) for label in rows], default=8
+    )
+    lines = [title]
+    header = " " * (label_width + 2) + "  ".join(
+        col.rjust(width) for col, width in zip(columns, widths)
+    )
+    if row_header:
+        header = row_header.ljust(label_width + 2) + header[label_width + 2:]
+    lines.append(header)
+    for label, values in rows.items():
+        cells = []
+        for value, width in zip(values, widths):
+            if value is None:
+                cells.append("-".rjust(width))
+            else:
+                cells.append(value_format.format(value).rjust(width))
+        lines.append(label.ljust(label_width + 2) + "  ".join(cells))
+    return "\n".join(lines)
+
+
+def format_comparison(
+    title: str,
+    paper: Mapping[str, float],
+    measured: Mapping[str, float],
+    value_format: str = "{:.2f}",
+) -> str:
+    """Render a paper-vs-measured block for a set of named quantities."""
+    lines = [title]
+    width = max((len(name) for name in paper), default=8)
+    for name in paper:
+        paper_value = value_format.format(paper[name])
+        if name in measured and measured[name] is not None:
+            ours = value_format.format(measured[name])
+        else:
+            ours = "-"
+        lines.append(f"  {name.ljust(width)}  paper {paper_value:>8}   measured {ours:>8}")
+    return "\n".join(lines)
+
+
+def geomean_row(rows: Dict[str, List[float]]) -> Dict[str, float]:
+    """Geometric mean per row label across its columns."""
+    from repro.sim.stats import geometric_mean
+
+    return {label: geometric_mean(values) for label, values in rows.items()}
+
+
+def format_bars(
+    title: str,
+    values: Mapping[str, float],
+    width: int = 40,
+    value_format: str = "{:.2f}",
+    reference: float = 1.0,
+) -> str:
+    """Render a horizontal ASCII bar chart.
+
+    ``reference`` draws a marker (the baseline of 1.0 for speedup
+    charts) so crossings are visible at a glance.
+    """
+    if not values:
+        return title
+    peak = max(max(values.values()), reference)
+    label_width = max(len(label) for label in values)
+    lines = [title]
+    for label, value in values.items():
+        filled = max(0, round(width * value / peak)) if peak else 0
+        bar = "#" * filled
+        marker_pos = round(width * reference / peak) if peak else 0
+        if 0 <= marker_pos < width:
+            padded = list(bar.ljust(width))
+            if padded[marker_pos] == " ":
+                padded[marker_pos] = "|"
+            bar = "".join(padded).rstrip()
+        lines.append(
+            f"  {label.ljust(label_width)}  "
+            f"{value_format.format(value):>7} {bar}"
+        )
+    return "\n".join(lines)

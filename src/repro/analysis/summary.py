@@ -1,0 +1,75 @@
+"""Whole-evaluation summary: run every experiment and produce one report.
+
+Used by ``python -m repro experiment all`` and handy for regression
+checks after model changes — the summary ends with a compact
+paper-vs-measured scorecard across all figures and tables.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.analysis import experiments
+from repro.analysis.report import format_bars
+
+
+#: Ordered (name, callable) registry of the full evaluation.
+ALL_EXPERIMENTS: List[Tuple[str, Callable]] = [
+    ("Figure 6", experiments.fig6_speedup_nvm),
+    ("Figure 7", experiments.fig7_frontend_stalls),
+    ("Figure 8", experiments.fig8_nvm_writes),
+    ("Figure 9", experiments.fig9_slow_nvm),
+    ("Figure 10", experiments.fig10_dram),
+    ("Figure 11", experiments.fig11_logq_sweep),
+    ("Figure 12", experiments.fig12_lpq_sweep),
+    ("Table 3", experiments.table3_large_transactions),
+    ("Table 4", experiments.table4_llt_miss_rate),
+]
+
+
+def run_all(
+    threads: int = 4, scale: Optional[float] = None
+) -> Dict[str, "experiments.EvaluationResult"]:
+    """Run the whole evaluation; results share the per-process cache."""
+    results = {}
+    for name, function in ALL_EXPERIMENTS:
+        kwargs = {}
+        if function is not experiments.table3_large_transactions:
+            kwargs["threads"] = threads
+        if scale is not None:
+            kwargs["scale"] = scale
+        results[name] = function(**kwargs)
+    return results
+
+
+def scorecard(results: Dict[str, "experiments.EvaluationResult"]) -> str:
+    """One-line-per-quantity paper-vs-measured scorecard."""
+    lines = ["Scorecard (paper vs measured):"]
+    for name, result in results.items():
+        for quantity, paper_value in result.paper_reference.items():
+            measured = result.measured_summary.get(quantity)
+            if measured is None:
+                continue
+            ratio = measured / paper_value if paper_value else float("nan")
+            lines.append(
+                f"  {name:10s} {quantity:18s} paper {paper_value:7.2f}  "
+                f"measured {measured:7.2f}  (x{ratio:4.2f})"
+            )
+    return "\n".join(lines)
+
+
+def full_report(
+    threads: int = 4, scale: Optional[float] = None, bars: bool = True
+) -> str:
+    """Run everything and render the combined report."""
+    results = run_all(threads=threads, scale=scale)
+    sections = []
+    for name, result in results.items():
+        sections.append(result.report())
+        if bars and result.rows and name == "Figure 6":
+            geo = {label: values[-1] for label, values in result.rows.items()}
+            sections.append(
+                format_bars("Figure 6 geomeans (| marks the PMEM baseline):", geo)
+            )
+    sections.append(scorecard(results))
+    return "\n\n".join(sections)

@@ -1,0 +1,128 @@
+"""NVM traffic analysis: time-windowed bandwidth breakdowns.
+
+Attaches a recorder to a simulation's NVM device and bins completed
+requests into fixed-size cycle windows, by category.  Useful for seeing
+*when* each scheme's write traffic happens — e.g. software logging's
+bursts at every fence versus Proteus's near-silent log channel — and for
+spotting bandwidth saturation (windows at the channel limit).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.mem.nvm import NvmDevice
+from repro.sim.engine import Engine
+
+LINE_BYTES = 64
+
+
+@dataclass
+class TrafficWindow:
+    """Traffic completed during one window of cycles."""
+
+    start_cycle: int
+    reads: int = 0
+    writes_by_category: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def writes(self) -> int:
+        return sum(self.writes_by_category.values())
+
+    def bandwidth_bytes_per_cycle(self, window_cycles: int) -> float:
+        return (self.reads + self.writes) * LINE_BYTES / window_cycles
+
+
+class TrafficRecorder:
+    """Records per-window NVM traffic for one simulation."""
+
+    def __init__(self, engine: Engine, device: NvmDevice, window: int = 10_000) -> None:
+        if window < 1:
+            raise ValueError("window must be positive")
+        self.engine = engine
+        self.window = window
+        self._windows: Dict[int, TrafficWindow] = {}
+        original = device.submit
+
+        def submit(request):
+            callback = request.callback
+
+            def recording_callback():
+                self._record(request)
+                if callback is not None:
+                    callback()
+
+            request.callback = recording_callback
+            return original(request)
+
+        device.submit = submit
+
+    def _record(self, request) -> None:
+        index = self.engine.cycle // self.window
+        bucket = self._windows.get(index)
+        if bucket is None:
+            bucket = TrafficWindow(start_cycle=index * self.window)
+            self._windows[index] = bucket
+        if request.is_write:
+            bucket.writes_by_category[request.category] = (
+                bucket.writes_by_category.get(request.category, 0) + 1
+            )
+        else:
+            bucket.reads += 1
+
+    # -- results ---------------------------------------------------------------
+
+    def windows(self) -> List[TrafficWindow]:
+        """All non-empty windows in time order."""
+        return [self._windows[i] for i in sorted(self._windows)]
+
+    def totals(self) -> Dict[str, int]:
+        """Total lines by category (reads under the key ``"reads"``)."""
+        totals: Dict[str, int] = defaultdict(int)
+        for window in self._windows.values():
+            totals["reads"] += window.reads
+            for category, count in window.writes_by_category.items():
+                totals[category] += count
+        return dict(totals)
+
+    def peak_window(self) -> Optional[TrafficWindow]:
+        """The busiest window by total lines."""
+        windows = self.windows()
+        if not windows:
+            return None
+        return max(windows, key=lambda w: w.reads + w.writes)
+
+    def saturation_fraction(self, lines_per_cycle_limit: float) -> float:
+        """Fraction of non-empty windows at or above the given limit
+        (e.g. the channel's ~1 line per 17 cycles)."""
+        windows = self.windows()
+        if not windows:
+            return 0.0
+        threshold = lines_per_cycle_limit * self.window
+        saturated = sum(
+            1 for w in windows if (w.reads + w.writes) >= threshold
+        )
+        return saturated / len(windows)
+
+    def format_timeline(self, width: int = 50) -> str:
+        """ASCII timeline of total traffic per window."""
+        windows = self.windows()
+        if not windows:
+            return "(no traffic)"
+        peak = max(w.reads + w.writes for w in windows)
+        lines = []
+        for window in windows:
+            total = window.reads + window.writes
+            bar = "#" * max(1, round(width * total / peak)) if peak else ""
+            lines.append(
+                f"  @{window.start_cycle:>10,d}  {total:>6,d} lines "
+                f"({window.writes:>5,d} wr)  {bar}"
+            )
+        return "\n".join(lines)
+
+
+def record_simulation(simulator, window: int = 10_000) -> TrafficRecorder:
+    """Attach a recorder to a (not yet run) Simulator."""
+    return TrafficRecorder(simulator.engine, simulator.memctrl.device, window)

@@ -1,0 +1,201 @@
+"""Command-line interface.
+
+Subcommands:
+
+* ``run`` — simulate one benchmark under one scheme and print stats.
+* ``compare`` — run every scheme on one benchmark (mini Figure 6/8).
+* ``experiment`` — regenerate one of the paper's figures/tables.
+* ``crash`` — crash-inject a workload and verify recovery atomicity.
+
+Examples::
+
+    python -m repro run --benchmark QE --scheme Proteus --ops 40
+    python -m repro compare --benchmark AT --threads 2
+    python -m repro experiment fig6 --threads 2 --scale 0.25
+    python -m repro crash --benchmark HM --crashes 100 --scheme ATOM
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import List, Optional
+
+from repro.core.schemes import BASELINE, Scheme
+from repro.sim.config import dram_config, fast_nvm_config, slow_nvm_config
+from repro.sim.simulator import run_trace
+from repro.workloads import BENCHMARK_ORDER, WORKLOADS
+from repro.workloads.base import generate_traces
+
+CONFIGS = {
+    "fast-nvm": fast_nvm_config,
+    "slow-nvm": slow_nvm_config,
+    "dram": dram_config,
+}
+
+EXPERIMENTS = {
+    "fig6": "fig6_speedup_nvm",
+    "fig7": "fig7_frontend_stalls",
+    "fig8": "fig8_nvm_writes",
+    "fig9": "fig9_slow_nvm",
+    "fig10": "fig10_dram",
+    "fig11": "fig11_logq_sweep",
+    "fig12": "fig12_lpq_sweep",
+    "table3": "table3_large_transactions",
+    "table4": "table4_llt_miss_rate",
+}
+
+
+def _add_workload_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--benchmark", default="QE", choices=sorted(WORKLOADS))
+    parser.add_argument("--threads", type=int, default=1)
+    parser.add_argument("--ops", type=int, default=30)
+    parser.add_argument("--init", type=int, default=1000)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--memory", default="fast-nvm", choices=sorted(CONFIGS))
+
+
+def _traces(args):
+    return generate_traces(
+        WORKLOADS[args.benchmark],
+        threads=args.threads,
+        seed=args.seed,
+        init_ops=args.init,
+        sim_ops=args.ops,
+    )
+
+
+def _config(args):
+    return CONFIGS[args.memory](cores=args.threads)
+
+
+def cmd_run(args) -> int:
+    scheme = Scheme(args.scheme)
+    result = run_trace(_traces(args), scheme, _config(args))
+    print(f"{args.benchmark} under {scheme} on {args.memory}:")
+    print(f"  cycles:        {result.cycles:,}")
+    print(f"  instructions:  {result.stats.instructions():,}")
+    print(f"  IPC:           {result.ipc:.2f}")
+    print(f"  NVM writes:    {result.nvm_writes:,}")
+    print(f"  NVM reads:     {result.stats.nvm_reads():,}")
+    if scheme.is_sshl:
+        print(f"  LLT miss rate: {100 * result.stats.llt_miss_rate():.1f}%")
+    if args.verbose:
+        print()
+        print(result.stats.format())
+    return 0
+
+
+def cmd_compare(args) -> int:
+    traces = _traces(args)
+    config = _config(args)
+    results = {scheme: run_trace(traces, scheme, config) for scheme in Scheme}
+    base = results[BASELINE]
+    ideal_writes = max(1, results[Scheme.PMEM_NOLOG].nvm_writes)
+    print(f"{args.benchmark} on {args.memory} "
+          f"({args.threads} threads x {args.ops} transactions):")
+    print(f"  {'scheme':15s} {'cycles':>10s} {'speedup':>8s} {'writes':>8s} {'vs ideal':>9s}")
+    for scheme, result in results.items():
+        print(f"  {scheme!s:15s} {result.cycles:>10,d} "
+              f"{result.speedup_over(base):>8.2f} {result.nvm_writes:>8,d} "
+              f"{result.nvm_writes / ideal_writes:>9.2f}")
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    import repro.analysis as analysis
+
+    if args.name == "all":
+        from repro.analysis.summary import full_report
+
+        print(full_report(threads=args.threads, scale=args.scale))
+        return 0
+    function = getattr(analysis, EXPERIMENTS[args.name])
+    kwargs = {}
+    if args.name not in ("table3",):
+        kwargs["threads"] = args.threads
+    if args.scale is not None:
+        kwargs["scale"] = args.scale
+    result = function(**kwargs)
+    print(result.report())
+    return 0
+
+
+def cmd_crash(args) -> int:
+    from repro.persistence import build_functional_txs, crash_image, image_after, recover
+    from repro.persistence.crash import CrashPoint, Phase
+    from repro.persistence.recovery import verify_atomicity
+
+    scheme = Scheme(args.scheme)
+    if not scheme.failure_safe:
+        print(f"{scheme} is not failure safe; nothing to verify", file=sys.stderr)
+        return 2
+    workload = WORKLOADS[args.benchmark](
+        thread_id=0, seed=args.seed, init_ops=args.init, sim_ops=args.ops
+    )
+    trace = workload.generate()
+    initial, txs = build_functional_txs(trace, scheme)
+    candidates = [image_after(initial, txs, k) for k in range(len(txs) + 1)]
+    rng = random.Random(args.seed)
+    phases = [Phase.BEFORE, Phase.IN_FLIGHT, Phase.FLUSHED, Phase.COMMITTED]
+    if scheme.is_software:
+        phases += [Phase.LOGGING, Phase.FLAGGED]
+    for index in range(args.crashes):
+        k = rng.randrange(len(txs))
+        phase = rng.choice(phases)
+        data = None
+        if phase is Phase.IN_FLIGHT and scheme.is_software:
+            n = len(txs[k].written_lines)
+            data = frozenset(i for i in range(n) if rng.random() < 0.5)
+        image = crash_image(initial, txs, scheme,
+                            CrashPoint(k, phase, data_durable=data))
+        recovered = recover(image)
+        verify_atomicity(recovered, candidates)
+    print(f"{args.crashes} random crashes under {scheme}: "
+          f"all recovered to a transaction boundary")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Proteus NVM logging reproduction"
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = subparsers.add_parser("run", help="simulate one scheme")
+    _add_workload_args(run_parser)
+    run_parser.add_argument("--scheme", default="Proteus",
+                            choices=[s.value for s in Scheme])
+    run_parser.add_argument("--verbose", action="store_true")
+    run_parser.set_defaults(func=cmd_run)
+
+    compare_parser = subparsers.add_parser("compare", help="all schemes")
+    _add_workload_args(compare_parser)
+    compare_parser.set_defaults(func=cmd_compare)
+
+    experiment_parser = subparsers.add_parser(
+        "experiment", help="regenerate a paper figure/table"
+    )
+    experiment_parser.add_argument("name", choices=sorted(EXPERIMENTS) + ["all"])
+    experiment_parser.add_argument("--threads", type=int, default=4)
+    experiment_parser.add_argument("--scale", type=float, default=None)
+    experiment_parser.set_defaults(func=cmd_experiment)
+
+    crash_parser = subparsers.add_parser("crash", help="crash/recovery check")
+    _add_workload_args(crash_parser)
+    crash_parser.add_argument("--scheme", default="Proteus",
+                              choices=[s.value for s in Scheme if s.failure_safe])
+    crash_parser.add_argument("--crashes", type=int, default=100)
+    crash_parser.set_defaults(func=cmd_crash)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,33 @@
+"""The paper's contribution: software-supported hardware logging.
+
+Subpackage contents:
+
+* :mod:`repro.core.log_area` — per-thread circular log areas managed by
+  software (log-start / log-end / cur-log registers).
+* :mod:`repro.core.log_registers` — the 8-entry LR file.
+* :mod:`repro.core.llt` — the Log Lookup Table that filters repeated
+  logging of the same 32 B block within a transaction.
+* :mod:`repro.core.logq` — the LogQ that tracks in-flight log flushes,
+  assigns log-to addresses in program order, and orders stores behind
+  pending flushes to the same block.
+* :mod:`repro.core.proteus` — the core-side Proteus engine.
+* :mod:`repro.core.atom` — the ATOM hardware-logging baseline.
+* :mod:`repro.core.codegen` — the per-scheme "compiler" that lowers
+  workload transactions into instruction streams.
+* :mod:`repro.core.schemes` — the scheme registry.
+"""
+
+from repro.core.llt import LogLookupTable
+from repro.core.log_area import LogArea, LogAreaOverflow
+from repro.core.log_registers import LogRegisterFile
+from repro.core.logq import LogQueue
+from repro.core.schemes import Scheme
+
+__all__ = [
+    "LogArea",
+    "LogAreaOverflow",
+    "LogLookupTable",
+    "LogQueue",
+    "LogRegisterFile",
+    "Scheme",
+]

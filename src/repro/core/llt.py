@@ -1,0 +1,92 @@
+"""Log Lookup Table (LLT) — paper section 4.2.
+
+Within a transaction there is strong *log temporal locality*: multiple
+stores commonly hit different words of the same 32 B logging block, and
+only the first one needs a log entry (later entries would contain
+intra-transaction updates and must not be used for recovery anyway).
+The LLT caches the last few log-from addresses of the current
+transaction; a hit lets the ``log-load``/``log-flush`` pair complete
+immediately with no memory traffic.
+
+Geometry per Table 1: 64 entries, 8-way set associative, LRU within a
+set, 32 B granularity.  The table is cleared on ``tx-end`` and on
+context switches so a later transaction (or thread) can never mistake a
+stale entry for "already logged".
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List, Optional
+
+from repro.isa.instructions import LOG_GRAIN
+from repro.sim.stats import Stats
+
+
+class LogLookupTable:
+    """Set-associative filter of already-logged 32 B blocks."""
+
+    def __init__(self, entries: int = 64, ways: int = 8, stats: Optional[Stats] = None) -> None:
+        """``entries=0`` disables the table: every probe misses and every
+        logging pair flushes (the no-LLT ablation)."""
+        if entries and entries % ways:
+            raise ValueError("LLT entries must divide evenly into ways")
+        self.entries = entries
+        self.ways = ways
+        self.num_sets = entries // ways if entries else 0
+        self.stats = stats if stats is not None else Stats()
+        self._sets: List["OrderedDict[int, None]"] = [
+            OrderedDict() for _ in range(self.num_sets)
+        ]
+
+    def _set_for(self, block_addr: int) -> "OrderedDict[int, None]":
+        return self._sets[(block_addr // LOG_GRAIN) % self.num_sets]
+
+    def lookup_insert(self, addr: int) -> bool:
+        """Probe for the block containing ``addr``; insert on a miss.
+
+        Returns True on a hit (the block was already logged this
+        transaction — the logging pair can complete immediately).
+        Evicts the set's LRU entry on an insert into a full set; the
+        consequence of an eviction is only a redundant log entry, never
+        incorrect recovery.
+        """
+        if not self.entries:
+            self.stats.add("llt.misses")
+            return False
+        block = addr & ~(LOG_GRAIN - 1)
+        llt_set = self._set_for(block)
+        if block in llt_set:
+            llt_set.move_to_end(block)
+            self.stats.add("llt.hits")
+            return True
+        self.stats.add("llt.misses")
+        if len(llt_set) >= self.ways:
+            llt_set.popitem(last=False)
+            self.stats.add("llt.evictions")
+        llt_set[block] = None
+        return False
+
+    def probe(self, addr: int) -> bool:
+        """Non-modifying lookup (for tests)."""
+        if not self.entries:
+            return False
+        block = addr & ~(LOG_GRAIN - 1)
+        return block in self._set_for(block)
+
+    def clear(self) -> None:
+        """Flash clear — ``tx-end`` and context switch."""
+        for llt_set in self._sets:
+            llt_set.clear()
+        self.stats.add("llt.clears")
+
+    def occupancy(self) -> int:
+        """Valid entries currently held."""
+        return sum(len(llt_set) for llt_set in self._sets)
+
+    def storage_bits(self) -> int:
+        """Approximate storage cost in bits (paper: ~410 bytes for 64 entries).
+
+        Each entry holds a ~51-bit block tag plus a valid bit.
+        """
+        return self.entries * 52

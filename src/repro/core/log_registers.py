@@ -1,0 +1,57 @@
+"""The Log Register (LR) file.
+
+Eight 40-byte registers hold a log entry (32 B data + log-from address
+and metadata) between ``log-load`` and ``log-flush`` (paper section 4.2).
+An LR is allocated when its ``log-load`` dispatches and freed when the
+dependent ``log-flush`` commits; because that lifetime is short, eight
+registers suffice and running out simply stalls dispatch.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+
+class LogRegisterFile:
+    """Allocation bookkeeping for the LR file.
+
+    Registers are identified by index; the dynamic-instruction sequence
+    number of the owning ``log-load`` keys the reverse map so tests can
+    assert pairing.
+    """
+
+    def __init__(self, count: int = 8) -> None:
+        if count < 1:
+            raise ValueError("need at least one log register")
+        self.count = count
+        self._free = list(range(count - 1, -1, -1))
+        self._owner: Dict[int, int] = {}  # register -> owning seq
+
+    def available(self) -> int:
+        """Number of free registers."""
+        return len(self._free)
+
+    def allocate(self, owner_seq: int) -> Optional[int]:
+        """Allocate a register for the ``log-load`` with sequence number
+        ``owner_seq``; returns the register index or None when exhausted."""
+        if not self._free:
+            return None
+        register = self._free.pop()
+        self._owner[register] = owner_seq
+        return register
+
+    def release(self, register: int) -> None:
+        """Free a register (called when the paired ``log-flush`` commits)."""
+        if register not in self._owner:
+            raise ValueError(f"release of unallocated log register {register}")
+        del self._owner[register]
+        self._free.append(register)
+
+    def owner_of(self, register: int) -> Optional[int]:
+        """Sequence number of the owning log-load, or None when free."""
+        return self._owner.get(register)
+
+    def release_all(self) -> None:
+        """Free every register (context-switch ``log-save`` spill)."""
+        self._owner.clear()
+        self._free = list(range(self.count - 1, -1, -1))

@@ -1,0 +1,132 @@
+"""The LogQ — paper section 4.2.
+
+The LogQ tracks every in-flight ``log-flush``.  It provides three
+guarantees:
+
+1. **Concurrency.** Up to ``entries`` log flushes can be outstanding to
+   the memory controller at once (this is the concurrent-logging
+   advantage over ATOM's serialized log creation at store retirement).
+2. **Program-order log-to addresses.** A flush resolves its log-to
+   address (from the LTA auto-increment) only after every older flush
+   has resolved, so recovery can always trust the *earliest* entry for a
+   given address.  The actual flushes may then complete out of order.
+3. **Store ordering.** A retired store to a 32 B block with a pending
+   older flush must stay in the store buffer until that flush is
+   acknowledged; the LogQ answers that membership query.
+
+A ``log-flush`` that finds the LogQ full stalls dispatch (paper: this is
+required so no younger store can slip past the flush).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.isa.instructions import LOG_GRAIN
+from repro.sim.stats import Stats
+
+
+@dataclass
+class LogQEntry:
+    """One in-flight log flush."""
+
+    seq: int                      # dynamic program-order sequence number
+    log_from: int                 # 32 B block being logged
+    txid: int
+    log_to: Optional[int] = None  # resolved LTA slot; None until assigned
+    issued: bool = False          # flush sent to the memory controller
+    done: bool = False            # acknowledged by the memory controller
+
+
+class LogQueue:
+    """Bounded queue of in-flight log flushes."""
+
+    def __init__(self, entries: int = 16, stats: Optional[Stats] = None) -> None:
+        if entries < 1:
+            raise ValueError("LogQ needs at least one entry")
+        self.capacity = entries
+        self.stats = stats if stats is not None else Stats()
+        self._entries: List[LogQEntry] = []
+        self._pending_blocks: Dict[int, int] = {}  # block -> pending count
+
+    # -- allocation ------------------------------------------------------------
+
+    def has_space(self) -> bool:
+        """True when a new flush can allocate an entry."""
+        return len(self._entries) < self.capacity
+
+    def allocate(self, seq: int, log_from: int, txid: int) -> Optional[LogQEntry]:
+        """Allocate an entry at dispatch; None when full (dispatch stalls)."""
+        if not self.has_space():
+            self.stats.add("logq.alloc_stalls")
+            return None
+        block = log_from & ~(LOG_GRAIN - 1)
+        entry = LogQEntry(seq=seq, log_from=block, txid=txid)
+        self._entries.append(entry)
+        self._pending_blocks[block] = self._pending_blocks.get(block, 0) + 1
+        self.stats.set_max("logq.max_occupancy", len(self._entries))
+        return entry
+
+    # -- program-order address resolution ------------------------------------------
+
+    def can_resolve(self, entry: LogQEntry) -> bool:
+        """True when every older entry has resolved its log-to address."""
+        for other in self._entries:
+            if other.seq < entry.seq and other.log_to is None:
+                return False
+        return True
+
+    def resolve(self, entry: LogQEntry, log_to: int) -> None:
+        """Record the LTA slot assigned to this flush."""
+        if not self.can_resolve(entry):
+            raise RuntimeError(
+                "log-to addresses must be assigned in program order"
+            )
+        entry.log_to = log_to
+
+    # -- completion -----------------------------------------------------------------
+
+    def complete(self, entry: LogQEntry) -> None:
+        """Acknowledge a flush; frees the entry and the block ordering."""
+        entry.done = True
+        self._entries.remove(entry)
+        block = entry.log_from
+        remaining = self._pending_blocks.get(block, 0) - 1
+        if remaining <= 0:
+            self._pending_blocks.pop(block, None)
+        else:
+            self._pending_blocks[block] = remaining
+
+    def cancel(self, entry: LogQEntry) -> None:
+        """Drop an entry whose flush was filtered (LLT hit after allocate)."""
+        self.complete(entry)
+
+    # -- ordering queries -----------------------------------------------------------
+
+    def blocks_store(self, store_addr: int, store_seq: int) -> bool:
+        """True when a retired store must wait before writing the cache.
+
+        A store to a block with any *older* pending flush to the same 32 B
+        block is held in the store buffer (paper: the log entry must
+        persist before the store can).
+        """
+        block = store_addr & ~(LOG_GRAIN - 1)
+        if block not in self._pending_blocks:
+            return False
+        return any(
+            entry.log_from == block and entry.seq < store_seq and not entry.done
+            for entry in self._entries
+        )
+
+    def occupancy(self) -> int:
+        """Entries currently allocated."""
+        return len(self._entries)
+
+    def is_empty(self) -> bool:
+        """True when no flush is in flight (tx-end condition)."""
+        return not self._entries
+
+    def pending_entries(self) -> List[LogQEntry]:
+        """Snapshot of in-flight entries (tests and debugging)."""
+        return list(self._entries)

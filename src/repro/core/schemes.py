@@ -1,0 +1,95 @@
+"""Logging-scheme registry.
+
+The six schemes evaluated in the paper (section 6):
+
+* ``PMEM`` — software write-ahead undo logging built from Intel PMEM
+  instructions, *without* ``pcommit`` (the WPQ is in the persistency
+  domain).  This is the paper's speedup baseline.
+* ``PMEM_PCOMMIT`` — the same, but every fence is followed by a
+  ``pcommit`` that drains the WPQ to NVM (pre-ADR persistency domain).
+* ``PMEM_NOLOG`` — software persistence without any logging.  Not
+  failure safe; the paper's ideal upper bound.
+* ``PMEM_STRICT`` — strict persistency (section 2.1 background): every
+  store persists, in order, before the next may execute (``clwb`` +
+  ``sfence`` after each store).  Not failure atomic either; included as
+  an ablation showing why relaxed persistency models exist.
+* ``ATOM`` — hardware undo logging at store retirement with the posted-
+  log and source-log optimizations (Joshi et al., HPCA'17).
+* ``PROTEUS`` — the paper's contribution, with NVMM log write removal.
+* ``PROTEUS_NOLWR`` — Proteus without log write removal (log entries
+  all drain to NVM).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Tuple
+
+
+class Scheme(enum.Enum):
+    """One durable-transaction logging scheme."""
+
+    PMEM = "PMEM"
+    PMEM_PCOMMIT = "PMEM+pcommit"
+    PMEM_NOLOG = "PMEM+nolog"
+    PMEM_STRICT = "PMEM+strict"
+    ATOM = "ATOM"
+    PROTEUS = "Proteus"
+    PROTEUS_NOLWR = "Proteus+NoLWR"
+
+    def __str__(self) -> str:
+        return self.value
+
+    @property
+    def is_software(self) -> bool:
+        """True for schemes whose logging is instruction-level software."""
+        return self in (Scheme.PMEM, Scheme.PMEM_PCOMMIT)
+
+    @property
+    def is_hardware(self) -> bool:
+        """True for ATOM (fully hardware logging)."""
+        return self is Scheme.ATOM
+
+    @property
+    def is_sshl(self) -> bool:
+        """True for the software-supported hardware logging schemes."""
+        return self in (Scheme.PROTEUS, Scheme.PROTEUS_NOLWR)
+
+    @property
+    def failure_safe(self) -> bool:
+        """True when the scheme provides recoverable durable transactions.
+
+        Strict persistency guarantees *ordering*, not atomicity: a crash
+        mid-transaction leaves a consistent prefix but not an all-or-
+        nothing transaction, so it is not failure safe in the durable-
+        transaction sense either.
+        """
+        return self not in (Scheme.PMEM_NOLOG, Scheme.PMEM_STRICT)
+
+    @property
+    def uses_pcommit(self) -> bool:
+        """True when codegen inserts ``pcommit`` after persist fences."""
+        return self is Scheme.PMEM_PCOMMIT
+
+    @property
+    def uses_lpq(self) -> bool:
+        """True when the memory controller attaches an LPQ."""
+        return self.is_sshl
+
+    @property
+    def log_write_removal(self) -> bool:
+        """True when committed log entries are flash cleared at the MC."""
+        return self is Scheme.PROTEUS
+
+
+#: Presentation order used by every figure in the paper.
+FIGURE_ORDER: Tuple[Scheme, ...] = (
+    Scheme.PMEM_PCOMMIT,
+    Scheme.ATOM,
+    Scheme.PROTEUS_NOLWR,
+    Scheme.PROTEUS,
+    Scheme.PMEM_NOLOG,
+)
+
+#: The normalization baseline for every speedup figure.
+BASELINE = Scheme.PMEM

@@ -1,0 +1,58 @@
+"""Pipeline front end: trace feed plus dispatch-stall attribution.
+
+The paper's Figure 7 reports front-end stall cycles — cycles in which no
+instruction could dispatch because a back-end resource (ROB, load/store
+queue, log registers, LogQ) was exhausted.  The front end records one
+stall per cycle, attributed to the first blocking resource encountered.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.isa.instructions import Instruction
+from repro.isa.trace import InstructionTrace
+from repro.sim.stats import Stats
+
+
+class Frontend:
+    """Sequential instruction supply with stall accounting."""
+
+    def __init__(self, trace: InstructionTrace, stats: Stats, core_id: int = 0) -> None:
+        self.trace = trace
+        self.stats = stats
+        self.core_id = core_id
+        self.pc = 0
+        self._stalled_this_cycle: Optional[str] = None
+
+    def exhausted(self) -> bool:
+        """True when the whole trace has been dispatched."""
+        return self.pc >= len(self.trace)
+
+    def peek(self) -> Optional[Instruction]:
+        """The next instruction to dispatch, or None at end of trace."""
+        if self.exhausted():
+            return None
+        return self.trace[self.pc]
+
+    def consume(self) -> Instruction:
+        """Dispatch the next instruction (advances the pc)."""
+        instruction = self.trace[self.pc]
+        self.pc += 1
+        return instruction
+
+    def note_stall(self, cause: str) -> None:
+        """Record the blocking cause for this cycle (first cause wins)."""
+        if self._stalled_this_cycle is None:
+            self._stalled_this_cycle = cause
+
+    def end_cycle(self, dispatched: int) -> None:
+        """Close the cycle's stall accounting.
+
+        A cycle counts as a front-end stall when nothing dispatched and
+        the trace is not exhausted.
+        """
+        if dispatched == 0 and not self.exhausted():
+            cause = self._stalled_this_cycle or "other"
+            self.stats.add(f"stall.{cause}")
+        self._stalled_this_cycle = None

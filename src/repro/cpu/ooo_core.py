@@ -1,0 +1,358 @@
+"""Out-of-order core model.
+
+The model is structural rather than functional: it tracks the resources
+and ordering constraints that determine the paper's results — ROB and
+load/store-queue occupancy, dispatch/retire widths, dependence edges
+(pointer chasing and the LR edge between ``log-load`` and ``log-flush``),
+in-order retirement, a post-retirement store buffer, PMEM fence
+semantics, and the scheme adapter's logging rules.
+
+One :meth:`OooCore.tick` models one cycle: retire → start executions →
+drain the store buffer → dispatch.  The method returns True when the
+core made any progress, which lets the simulator fast-forward the clock
+to the next memory event when every core is stalled.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Dict, List, Optional
+
+from repro.cpu.adapter import LoggingAdapter, NullAdapter
+from repro.cpu.frontend import Frontend
+from repro.cpu.store_buffer import StoreBuffer
+from repro.isa.instructions import (
+    FENCE_KINDS,
+    LOAD_QUEUE_KINDS,
+    STORE_QUEUE_KINDS,
+    Instruction,
+    Kind,
+)
+from repro.isa.trace import InstructionTrace
+from repro.mem.hierarchy import CacheHierarchy
+from repro.mem.memctrl import MemoryController
+from repro.sim.config import CoreConfig
+from repro.sim.engine import Engine
+from repro.sim.stats import Stats
+
+
+class State(enum.Enum):
+    """Lifecycle of a dynamic instruction."""
+
+    DISPATCHED = 0   # in the ROB, waiting on dependences
+    EXECUTING = 1    # issued, waiting for completion
+    COMPLETED = 2    # result ready, waiting to retire
+    RETIRED = 3
+
+
+class DynInstr:
+    """Per-dynamic-instance state for one trace instruction."""
+
+    __slots__ = (
+        "instr",
+        "seq",
+        "state",
+        "waiters",
+        "lr",
+        "logq_entry",
+        "llt_hit",
+        "log_acked",
+    )
+
+    def __init__(self, instr: Instruction, seq: int) -> None:
+        self.instr = instr
+        self.seq = seq
+        self.state = State.DISPATCHED
+        self.waiters: List[Callable[[], None]] = []
+        self.lr: Optional[int] = None           # Proteus log register index
+        self.logq_entry = None                  # Proteus LogQ entry
+        self.llt_hit = False                    # Proteus LLT filter hit
+        self.log_acked = False                  # ATOM per-store log ack
+
+    def completed(self) -> bool:
+        return self.state in (State.COMPLETED, State.RETIRED)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<dyn #{self.seq} {self.instr.kind.value} {self.state.name}>"
+
+
+class OooCore:
+    """One core executing one thread's instruction trace."""
+
+    def __init__(
+        self,
+        core_id: int,
+        engine: Engine,
+        config: CoreConfig,
+        trace: InstructionTrace,
+        hierarchy: CacheHierarchy,
+        memctrl: MemoryController,
+        stats: Stats,
+        adapter: Optional[LoggingAdapter] = None,
+    ) -> None:
+        self.core_id = core_id
+        self.engine = engine
+        self.config = config
+        self.hierarchy = hierarchy
+        self.memctrl = memctrl
+        self.stats = stats
+        self.adapter = adapter if adapter is not None else NullAdapter()
+        self.adapter.bind(self)
+
+        self.frontend = Frontend(trace, stats, core_id)
+        self.rob: List[DynInstr] = []
+        self.store_buffer = StoreBuffer(config.store_buffer_drain_per_cycle)
+        self.dyn_by_seq: Dict[int, DynInstr] = {}
+        self._done_seqs: set = set()
+
+        self.lq_used = 0
+        self.sq_used = 0
+        #: clwb/clflushopt issued to the memory system, awaiting ack
+        self.pending_pmem = 0
+        #: retired pcommits whose WPQ->NVM drain has not completed yet;
+        #: pcommit itself retires immediately (it is asynchronous), but a
+        #: later fence must wait for the drain (Intel ordering rules).
+        self.pending_pcommits = 0
+        #: outstanding demand loads (MSHR bound); loads beyond the limit
+        #: queue here and issue as completions free slots.
+        self._mshr_used = 0
+        self._mshr_waiters: List[DynInstr] = []
+        self._progress = False
+
+    # -- public driver ----------------------------------------------------------
+
+    def finished(self) -> bool:
+        """True when the trace has fully executed and drained."""
+        return (
+            self.frontend.exhausted()
+            and not self.rob
+            and self.store_buffer.is_empty()
+            and self.pending_pmem == 0
+            and self.pending_pcommits == 0
+            and self.adapter.quiesced()
+        )
+
+    def tick(self) -> bool:
+        """Simulate one cycle; returns True when any progress was made."""
+        self._progress = False
+        self._retire()
+        self._drain_store_buffer()
+        self._dispatch()
+        return self._progress
+
+    # -- completion plumbing -------------------------------------------------------
+
+    def _mark_completed(self, dyn: DynInstr) -> None:
+        if dyn.state is State.COMPLETED:
+            return
+        dyn.state = State.COMPLETED
+        self._done_seqs.add(dyn.seq)
+        self._progress = True
+        waiters, dyn.waiters = dyn.waiters, []
+        for waiter in waiters:
+            waiter()
+
+    def complete_after(self, dyn: DynInstr, delay: int) -> None:
+        """Schedule completion of ``dyn`` after ``delay`` cycles."""
+        self.engine.schedule(delay, lambda: self._mark_completed(dyn))
+
+    def dep_satisfied(self, dyn: DynInstr) -> bool:
+        """True when the instruction's dependence (if any) has completed."""
+        dep = dyn.instr.dep
+        return dep < 0 or dep in self._done_seqs
+
+    def _when_dep_ready(self, dyn: DynInstr, action: Callable[[], None]) -> None:
+        """Run ``action`` now or when the dependence completes."""
+        dep = dyn.instr.dep
+        if dep < 0 or dep in self._done_seqs:
+            action()
+            return
+        producer = self.dyn_by_seq.get(dep)
+        if producer is None:
+            # Producer already retired and completed.
+            action()
+            return
+        producer.waiters.append(action)
+
+    # -- dispatch ----------------------------------------------------------------------
+
+    def _structural_stall(self, instr: Instruction) -> Optional[str]:
+        if len(self.rob) >= self.config.rob_entries:
+            return "rob"
+        if instr.kind in LOAD_QUEUE_KINDS and self.lq_used >= self.config.load_queue_entries:
+            return "lq"
+        if instr.kind in STORE_QUEUE_KINDS and self.sq_used >= self.config.store_queue_entries:
+            return "sq"
+        return None
+
+    def _dispatch(self) -> None:
+        dispatched = 0
+        while dispatched < self.config.fetch_width:
+            instr = self.frontend.peek()
+            if instr is None:
+                break
+            cause = self._structural_stall(instr)
+            if cause is not None:
+                self.frontend.note_stall(cause)
+                break
+            dyn = DynInstr(instr, self.frontend.pc)
+            adapter_cause = self.adapter.dispatch_blocked(dyn)
+            if adapter_cause is not None:
+                self.frontend.note_stall(adapter_cause)
+                break
+            self.frontend.consume()
+            self.rob.append(dyn)
+            self.dyn_by_seq[dyn.seq] = dyn
+            if instr.kind in LOAD_QUEUE_KINDS:
+                self.lq_used += 1
+            if instr.kind in STORE_QUEUE_KINDS:
+                self.sq_used += 1
+            self._begin_execution(dyn)
+            dispatched += 1
+        if dispatched:
+            self._progress = True
+            self.stats.add("dispatched_instructions", dispatched)
+        self.frontend.end_cycle(dispatched)
+
+    # -- execution -----------------------------------------------------------------------
+
+    def _begin_execution(self, dyn: DynInstr) -> None:
+        self._when_dep_ready(dyn, lambda: self._start(dyn))
+
+    def _start(self, dyn: DynInstr) -> None:
+        if dyn.state is not State.DISPATCHED:
+            return
+        dyn.state = State.EXECUTING
+        self._progress = True
+        if self.adapter.start_execute(dyn):
+            return
+        kind = dyn.instr.kind
+        if kind is Kind.LOAD:
+            self._issue_load(dyn)
+        elif kind is Kind.ALU:
+            self.complete_after(dyn, max(1, dyn.instr.latency))
+        elif kind is Kind.STORE:
+            # Address generation triggers the read-for-ownership prefetch
+            # so the post-retirement cache write will hit.
+            self.hierarchy.prefetch_for_store(self.core_id, dyn.instr.addr)
+            self.complete_after(dyn, 1)
+        else:
+            # Stores complete at address generation; fences, tx marks and
+            # flush instructions complete immediately — their semantics
+            # are enforced at retirement and in the store buffer.
+            self.complete_after(dyn, 1)
+
+    def _issue_load(self, dyn: DynInstr) -> None:
+        """Send a demand load to the cache, respecting the MSHR bound."""
+        if self._mshr_used >= self.config.mshr_entries:
+            self.stats.add("mshr.full")
+            self._mshr_waiters.append(dyn)
+            return
+        self._mshr_used += 1
+        self.hierarchy.access(
+            self.core_id,
+            dyn.instr.addr,
+            is_write=False,
+            on_complete=lambda: self._load_returned(dyn),
+        )
+
+    def _load_returned(self, dyn: DynInstr) -> None:
+        self._mshr_used -= 1
+        self._mark_completed(dyn)
+        if self._mshr_waiters and self._mshr_used < self.config.mshr_entries:
+            self._issue_load(self._mshr_waiters.pop(0))
+
+    # -- retirement -------------------------------------------------------------------------
+
+    def _fence_blocked(self, dyn: DynInstr) -> bool:
+        """Retirement condition for sfence/mfence/pcommit/tx-end.
+
+        pcommit itself only waits for the store-class backlog; its drain
+        is posted at retirement and gates *later* fences instead.
+        """
+        if not self.store_buffer.is_empty() or self.pending_pmem > 0:
+            return True
+        if dyn.instr.kind is not Kind.PCOMMIT and self.pending_pcommits > 0:
+            return True
+        return False
+
+    def _pcommit_done(self) -> None:
+        self.pending_pcommits -= 1
+        # Progress resumes at the next tick; the retire loop re-checks.
+
+    def _retire(self) -> None:
+        retired = 0
+        while retired < self.config.retire_width and self.rob:
+            dyn = self.rob[0]
+            if not dyn.completed():
+                break
+            if dyn.instr.kind in FENCE_KINDS and self._fence_blocked(dyn):
+                self.stats.add("retire_blocked.fence")
+                break
+            if self.adapter.retire_blocked(dyn):
+                self.stats.add("retire_blocked.adapter")
+                break
+            self.rob.pop(0)
+            dyn.state = State.RETIRED
+            kind = dyn.instr.kind
+            if kind in LOAD_QUEUE_KINDS:
+                self.lq_used -= 1
+            if kind in STORE_QUEUE_KINDS:
+                self.store_buffer.push(dyn)  # SQ slot freed when drained
+            if dyn.seq in self.dyn_by_seq and not dyn.waiters:
+                del self.dyn_by_seq[dyn.seq]
+            if kind is Kind.PCOMMIT:
+                self.pending_pcommits += 1
+                self.memctrl.notify_when_persistent(self._pcommit_done)
+            self.adapter.on_retire(dyn)
+            self.stats.add("retired_instructions")
+            retired += 1
+        if retired:
+            self._progress = True
+
+    # -- store buffer drain ------------------------------------------------------------------
+
+    def _drain_store_buffer(self) -> None:
+        for _ in range(self.store_buffer.drain_per_cycle):
+            head = self.store_buffer.head()
+            if head is None:
+                return
+            kind = head.instr.kind
+            if kind is Kind.STORE and self.adapter.store_release_blocked(
+                head.instr.addr, head.seq
+            ):
+                self.stats.add("store_release_blocked")
+                return
+            dyn = self.store_buffer.pop_head()
+            self._progress = True
+            if kind is Kind.STORE:
+                self.hierarchy.access(
+                    self.core_id,
+                    dyn.instr.addr,
+                    is_write=True,
+                    on_complete=lambda d=dyn: self._store_written(d),
+                )
+            else:  # CLWB / CLFLUSHOPT
+                self.pending_pmem += 1
+                self.hierarchy.flush_line(
+                    self.core_id,
+                    dyn.instr.addr,
+                    invalidate=(kind is Kind.CLFLUSHOPT),
+                    thread_id=self.core_id,
+                    on_durable=lambda d=dyn: self._flush_acked(d),
+                )
+
+    def _store_written(self, dyn: DynInstr) -> None:
+        self.store_buffer.finished()
+        self.sq_used -= 1
+        self._cleanup_dyn(dyn)
+
+    def _flush_acked(self, dyn: DynInstr) -> None:
+        self.store_buffer.finished()
+        self.sq_used -= 1
+        self.pending_pmem -= 1
+        self._cleanup_dyn(dyn)
+
+    def _cleanup_dyn(self, dyn: DynInstr) -> None:
+        if dyn.seq in self.dyn_by_seq and not dyn.waiters:
+            del self.dyn_by_seq[dyn.seq]

@@ -1,0 +1,56 @@
+"""Post-retirement store buffer.
+
+Retired stores (and ``clwb``/``clflushopt``) wait here before touching
+the cache.  The buffer drains in order at ``drain_per_cycle``; a drained
+entry stays "in flight" (holding its store-queue slot) until its cache
+write or flush acknowledgment completes.  The head may be held back by
+the logging adapter — the Proteus rule that a store to a 32 B block with
+an older pending log flush must not be released to the cache.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Callable, Deque, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cpu.ooo_core import DynInstr
+
+
+class StoreBuffer:
+    """In-order drain queue of retired store-class instructions."""
+
+    def __init__(self, drain_per_cycle: int = 1) -> None:
+        self.drain_per_cycle = drain_per_cycle
+        self._queue: Deque["DynInstr"] = deque()
+        self._in_flight = 0
+
+    def push(self, dyn: "DynInstr") -> None:
+        """Add a just-retired store-class instruction."""
+        self._queue.append(dyn)
+
+    def head(self) -> Optional["DynInstr"]:
+        """The oldest undrained entry, or None."""
+        return self._queue[0] if self._queue else None
+
+    def pop_head(self) -> "DynInstr":
+        """Remove the head for issue; caller must call :meth:`finished`
+        when the issued operation completes."""
+        self._in_flight += 1
+        return self._queue.popleft()
+
+    def finished(self) -> None:
+        """An issued entry's cache write / flush completed."""
+        self._in_flight -= 1
+
+    def is_empty(self) -> bool:
+        """True when nothing is buffered *or* in flight (fence condition)."""
+        return not self._queue and self._in_flight == 0
+
+    def occupancy(self) -> int:
+        """Entries waiting to drain (not counting in-flight ones)."""
+        return len(self._queue)
+
+    def in_flight(self) -> int:
+        """Issued entries whose completion is pending."""
+        return self._in_flight

@@ -1,0 +1,59 @@
+"""Instruction-set and trace definitions shared by every layer.
+
+The simulator is trace driven.  Workloads (``repro.workloads``) emit
+*high-level operations* (:mod:`repro.isa.ops`) — transactional reads and
+writes plus transaction boundaries.  The per-scheme code generator
+(:mod:`repro.core.codegen`) lowers those into *ISA instructions*
+(:mod:`repro.isa.instructions`), which the cycle-level core model executes.
+"""
+
+from repro.isa.instructions import (
+    CACHE_LINE,
+    LOG_GRAIN,
+    Instruction,
+    Kind,
+    alu,
+    cache_line_of,
+    clflushopt,
+    clwb,
+    load,
+    log_block_of,
+    log_flush,
+    log_load,
+    log_save,
+    mfence,
+    pcommit,
+    sfence,
+    store,
+    tx_begin,
+    tx_end,
+)
+from repro.isa.ops import Op, OpKind, TxRecord
+from repro.isa.trace import InstructionTrace, OpTrace
+
+__all__ = [
+    "CACHE_LINE",
+    "LOG_GRAIN",
+    "Instruction",
+    "InstructionTrace",
+    "Kind",
+    "Op",
+    "OpKind",
+    "OpTrace",
+    "TxRecord",
+    "alu",
+    "cache_line_of",
+    "clflushopt",
+    "clwb",
+    "load",
+    "log_block_of",
+    "log_flush",
+    "log_load",
+    "log_save",
+    "mfence",
+    "pcommit",
+    "sfence",
+    "store",
+    "tx_begin",
+    "tx_end",
+]

@@ -1,0 +1,132 @@
+"""High-level workload operations.
+
+Workloads describe *what a transaction does* without committing to a
+logging scheme: which addresses are read, which are written, and which
+addresses a conservative software undo logger would have to log up front
+(the ``log_candidates`` set — for self-balancing trees this is a superset
+of the write set, which is exactly the effect the paper measures when it
+reports a 2.98x no-logging speedup on B-trees).
+
+The per-scheme code generator consumes these records and emits ISA
+instructions.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+class OpKind(enum.Enum):
+    """High-level operation kinds inside a transaction body."""
+
+    READ = "read"
+    WRITE = "write"
+    COMPUTE = "compute"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"OpKind.{self.name}"
+
+
+@dataclass(frozen=True)
+class Op:
+    """One high-level operation.
+
+    Attributes:
+        kind: read / write / compute.
+        addr: byte address for memory operations.
+        size: access size in bytes.
+        value: value written (functional payload; ``None`` for reads).
+        chained: True when this read depends on the previous read in the
+            transaction (pointer chasing); lowered into a load-load
+            dependence edge.
+        amount: for COMPUTE, the number of ALU instructions to emit.
+            They are lowered as a *dependent chain* — serial application
+            logic, not free-issue work — so ``amount`` instructions cost
+            roughly ``amount * latency`` cycles.
+        latency: per-instruction latency of the COMPUTE chain.
+    """
+
+    kind: OpKind
+    addr: int = 0
+    size: int = 8
+    value: Optional[int] = None
+    chained: bool = False
+    amount: int = 1
+    latency: int = 1
+
+    @staticmethod
+    def read(addr: int, size: int = 8, chained: bool = False) -> "Op":
+        """A transactional read."""
+        return Op(OpKind.READ, addr=addr, size=size, chained=chained)
+
+    @staticmethod
+    def write(addr: int, value: int, size: int = 8) -> "Op":
+        """A transactional write of ``value``."""
+        return Op(OpKind.WRITE, addr=addr, size=size, value=value)
+
+    @staticmethod
+    def compute(amount: int = 1, latency: int = 1) -> "Op":
+        """``amount`` generic ALU instructions worth of computation,
+        lowered as a dependent chain of per-instruction ``latency``."""
+        return Op(OpKind.COMPUTE, amount=amount, latency=latency)
+
+
+@dataclass
+class TxRecord:
+    """A durable transaction emitted by a workload.
+
+    Attributes:
+        txid: unique (per thread) transaction id, starting at 1.
+        body: the ordered high-level operations.
+        log_candidates: addresses (base, size) that a conservative software
+            undo logger must log before the transaction body runs.  Always
+            a superset of the lines written by the body.  Hardware schemes
+            ignore this field — they log only what is actually stored to.
+    """
+
+    txid: int
+    body: List[Op] = field(default_factory=list)
+    log_candidates: List[Tuple[int, int]] = field(default_factory=list)
+
+    def writes(self) -> List[Op]:
+        """The write operations of the body, in order."""
+        return [op for op in self.body if op.kind is OpKind.WRITE]
+
+    def reads(self) -> List[Op]:
+        """The read operations of the body, in order."""
+        return [op for op in self.body if op.kind is OpKind.READ]
+
+    def written_lines(self) -> List[int]:
+        """Distinct cache-line base addresses written, in first-write order."""
+        seen = []
+        known = set()
+        for op in self.writes():
+            first = op.addr & ~63
+            last = (op.addr + op.size - 1) & ~63
+            for line in range(first, last + 64, 64):
+                if line not in known:
+                    known.add(line)
+                    seen.append(line)
+        return seen
+
+    def validate(self) -> None:
+        """Check internal consistency; raises ``ValueError`` on violation.
+
+        Every line written by the body must be covered by some log
+        candidate range — otherwise a software undo logger could not
+        recover the transaction.
+        """
+        covered = set()
+        for base, size in self.log_candidates:
+            first = base & ~63
+            last = (base + size - 1) & ~63
+            for line in range(first, last + 64, 64):
+                covered.add(line)
+        for line in self.written_lines():
+            if line not in covered:
+                raise ValueError(
+                    f"tx {self.txid}: written line {line:#x} is not covered "
+                    f"by any log candidate"
+                )

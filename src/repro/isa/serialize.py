@@ -1,0 +1,111 @@
+"""Trace serialization.
+
+Op traces are the unit of exchange between workloads and the simulator;
+being able to save and reload them makes runs reproducible across
+machines, lets bug reports ship a failing trace, and decouples (slow)
+trace generation from (repeated) simulation.  The format is plain JSON:
+stable, diff-able, and free of pickle's code-execution hazards.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Any, Dict, Union
+
+from repro.isa.ops import Op, OpKind, TxRecord
+from repro.isa.trace import OpTrace
+
+FORMAT_VERSION = 1
+
+
+def _op_to_dict(op: Op) -> Dict[str, Any]:
+    data: Dict[str, Any] = {"k": op.kind.value}
+    if op.kind is OpKind.COMPUTE:
+        data["n"] = op.amount
+        if op.latency != 1:
+            data["l"] = op.latency
+        return data
+    data["a"] = op.addr
+    if op.size != 8:
+        data["s"] = op.size
+    if op.value is not None:
+        data["v"] = op.value
+    if op.chained:
+        data["c"] = True
+    return data
+
+
+def _op_from_dict(data: Dict[str, Any]) -> Op:
+    kind = OpKind(data["k"])
+    if kind is OpKind.COMPUTE:
+        return Op.compute(data.get("n", 1), latency=data.get("l", 1))
+    if kind is OpKind.READ:
+        return Op.read(data["a"], size=data.get("s", 8), chained=data.get("c", False))
+    return Op.write(data["a"], data.get("v", 0), size=data.get("s", 8))
+
+
+def trace_to_dict(trace: OpTrace) -> Dict[str, Any]:
+    """Convert a trace to a JSON-compatible dict."""
+    items = []
+    for item in trace.items:
+        if isinstance(item, TxRecord):
+            items.append({
+                "tx": item.txid,
+                "body": [_op_to_dict(op) for op in item.body],
+                "log": [[base, size] for base, size in item.log_candidates],
+            })
+        else:
+            items.append({"op": _op_to_dict(item)})
+    return {
+        "version": FORMAT_VERSION,
+        "thread_id": trace.thread_id,
+        "items": items,
+        "warm_lines": trace.warm_lines,
+        "initial_image": (
+            {str(addr): value for addr, value in trace.initial_image.items()}
+            if trace.initial_image is not None
+            else None
+        ),
+    }
+
+
+def trace_from_dict(data: Dict[str, Any]) -> OpTrace:
+    """Rebuild a trace from its dict form."""
+    version = data.get("version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported trace format version {version!r}")
+    trace = OpTrace(thread_id=data["thread_id"])
+    for item in data["items"]:
+        if "tx" in item:
+            tx = TxRecord(txid=item["tx"])
+            tx.body = [_op_from_dict(op) for op in item["body"]]
+            tx.log_candidates = [(base, size) for base, size in item["log"]]
+            trace.append(tx)
+        else:
+            trace.append(_op_from_dict(item["op"]))
+    trace.warm_lines = list(data.get("warm_lines", []))
+    image = data.get("initial_image")
+    if image is not None:
+        trace.initial_image = {int(addr): value for addr, value in image.items()}
+    trace.validate()
+    return trace
+
+
+def save_trace(trace: OpTrace, destination: Union[str, IO[str]]) -> None:
+    """Write a trace as JSON to a path or open text file."""
+    data = trace_to_dict(trace)
+    if isinstance(destination, str):
+        with open(destination, "w") as handle:
+            json.dump(data, handle)
+    else:
+        json.dump(data, destination)
+
+
+def load_trace(source: Union[str, IO[str]]) -> OpTrace:
+    """Read a trace from a path or open text file."""
+    if isinstance(source, str):
+        with open(source) as handle:
+            data = json.load(handle)
+    else:
+        data = json.load(source)
+    return trace_from_dict(data)

@@ -1,0 +1,22 @@
+"""Memory system: cache hierarchy, memory controller (WPQ/LPQ), and the
+NVM/DRAM device bank model."""
+
+from repro.mem.cache import Cache, CacheLine
+from repro.mem.endurance import EnduranceTracker, StartGap, attach_tracker
+from repro.mem.hierarchy import CacheHierarchy
+from repro.mem.memctrl import MemoryController
+from repro.mem.nvm import NvmDevice, NvmRequest
+from repro.mem.wpq import PendingQueue
+
+__all__ = [
+    "Cache",
+    "CacheHierarchy",
+    "CacheLine",
+    "EnduranceTracker",
+    "MemoryController",
+    "NvmDevice",
+    "NvmRequest",
+    "PendingQueue",
+    "StartGap",
+    "attach_tracker",
+]

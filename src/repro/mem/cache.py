@@ -1,0 +1,112 @@
+"""Set-associative write-back cache with LRU replacement.
+
+The cache tracks only line presence and dirtiness (the functional value
+image lives in :mod:`repro.persistence`, not here).  Lookup, fill and
+eviction are synchronous state changes; timing is applied by the
+hierarchy, which knows the per-level latencies.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+from repro.sim.config import CacheConfig
+from repro.sim.stats import Stats
+
+
+class CacheLine:
+    """Residency record for one cached line."""
+
+    __slots__ = ("addr", "dirty")
+
+    def __init__(self, addr: int, dirty: bool = False) -> None:
+        self.addr = addr
+        self.dirty = dirty
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "D" if self.dirty else "C"
+        return f"<line {self.addr:#x} {state}>"
+
+
+class Cache:
+    """One cache level.
+
+    Each set is an :class:`~collections.OrderedDict` keyed by line
+    address; insertion order is recency order (last = MRU).
+    """
+
+    def __init__(self, config: CacheConfig, name: str, stats: Stats) -> None:
+        self.config = config
+        self.name = name
+        self.stats = stats
+        self.sets: List["OrderedDict[int, CacheLine]"] = [
+            OrderedDict() for _ in range(config.sets)
+        ]
+
+    def _set_for(self, line_addr: int) -> "OrderedDict[int, CacheLine]":
+        index = (line_addr // self.config.line_bytes) % self.config.sets
+        return self.sets[index]
+
+    def lookup(self, line_addr: int, update_lru: bool = True) -> Optional[CacheLine]:
+        """Return the resident line or None; refreshes recency on a hit."""
+        cache_set = self._set_for(line_addr)
+        line = cache_set.get(line_addr)
+        if line is not None and update_lru:
+            cache_set.move_to_end(line_addr)
+        return line
+
+    def fill(self, line_addr: int, dirty: bool = False) -> Optional[CacheLine]:
+        """Install a line; returns the evicted victim (possibly dirty) or None.
+
+        Filling a line that is already resident refreshes recency and ORs
+        in the dirty bit.
+        """
+        cache_set = self._set_for(line_addr)
+        existing = cache_set.get(line_addr)
+        if existing is not None:
+            existing.dirty = existing.dirty or dirty
+            cache_set.move_to_end(line_addr)
+            return None
+        victim = None
+        if len(cache_set) >= self.config.ways:
+            __, victim = cache_set.popitem(last=False)
+            self.stats.add(f"{self.name}.evictions")
+            if victim.dirty:
+                self.stats.add(f"{self.name}.dirty_evictions")
+        cache_set[line_addr] = CacheLine(line_addr, dirty)
+        return victim
+
+    def mark_dirty(self, line_addr: int) -> bool:
+        """Set the dirty bit on a resident line; True when it was resident."""
+        line = self.lookup(line_addr)
+        if line is None:
+            return False
+        line.dirty = True
+        return True
+
+    def clean(self, line_addr: int) -> bool:
+        """Clear the dirty bit (clwb semantics); True when it was dirty."""
+        line = self.lookup(line_addr, update_lru=False)
+        if line is None or not line.dirty:
+            return False
+        line.dirty = False
+        return True
+
+    def invalidate(self, line_addr: int) -> Optional[CacheLine]:
+        """Remove the line (clflushopt semantics); returns it if present."""
+        cache_set = self._set_for(line_addr)
+        return cache_set.pop(line_addr, None)
+
+    def resident_lines(self) -> int:
+        """Total lines currently resident (for tests and occupancy stats)."""
+        return sum(len(cache_set) for cache_set in self.sets)
+
+    def dirty_lines(self) -> List[int]:
+        """Addresses of all dirty lines (used by the functional model)."""
+        return [
+            line.addr
+            for cache_set in self.sets
+            for line in cache_set.values()
+            if line.dirty
+        ]

@@ -1,0 +1,176 @@
+"""Pending write queues at the memory controller.
+
+:class:`PendingQueue` models both the WPQ (the ADR persistency domain for
+ordinary writes) and, with different drain policy, the Proteus LPQ.  A
+write is *durable* the moment it is admitted; when the queue proper is
+full, arrivals wait in an admission queue and only become durable (the
+acceptance callback fires) once a slot frees — that is the backpressure
+path that stalls ``clwb`` acknowledgments and, through them, fences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.sim.engine import Engine
+from repro.sim.stats import Stats
+
+
+@dataclass
+class QueueEntry:
+    """One pending write.
+
+    Attributes:
+        addr: cache-line address of the write.
+        category: endurance-accounting label passed to the device.
+        txid / thread_id: identify the owning transaction for LPQ
+            flash-clear (0/-1 when not applicable).
+        sticky: True for the retained last-log-entry of a committed
+            transaction (Proteus section 4.3); evicted lazily.
+    """
+
+    addr: int
+    category: str = "data"
+    txid: int = 0
+    thread_id: int = -1
+    sticky: bool = False
+
+
+class PendingQueue:
+    """A bounded write queue with admission backpressure.
+
+    The owner (the memory controller) decides *when* entries drain by
+    calling :meth:`pop_for_drain`; this class only tracks occupancy,
+    admission callbacks, and flash clearing.
+    """
+
+    def __init__(self, engine: Engine, stats: Stats, capacity: int, name: str) -> None:
+        if capacity < 1:
+            raise ValueError("queue capacity must be at least 1")
+        self.engine = engine
+        self.stats = stats
+        self.capacity = capacity
+        self.name = name
+        self.entries: List[QueueEntry] = []
+        self._admission: List[tuple] = []  # (entry, on_accept)
+
+    # -- admission -----------------------------------------------------------
+
+    def submit(self, entry: QueueEntry, on_accept: Optional[Callable[[], None]] = None) -> bool:
+        """Offer an entry; returns True when admitted immediately.
+
+        When the queue is full the entry waits in the admission queue and
+        ``on_accept`` fires later, once space frees.
+        """
+        if len(self.entries) < self.capacity:
+            self._admit(entry, on_accept)
+            return True
+        self.stats.add(f"{self.name}.admission_blocked")
+        self._admission.append((entry, on_accept))
+        return False
+
+    def _admit(self, entry: QueueEntry, on_accept: Optional[Callable[[], None]]) -> None:
+        self.entries.append(entry)
+        self.stats.add(f"{self.name}.admitted")
+        self.stats.set_max(f"{self.name}.max_occupancy", len(self.entries))
+        if on_accept is not None:
+            self.engine.schedule(0, on_accept)
+
+    def _refill_from_admission(self) -> None:
+        while self._admission and len(self.entries) < self.capacity:
+            entry, on_accept = self._admission.pop(0)
+            self._admit(entry, on_accept)
+
+    # -- occupancy / lookup ----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def occupancy(self) -> int:
+        """Entries currently held (excluding the admission queue)."""
+        return len(self.entries)
+
+    def waiting_admission(self) -> int:
+        """Entries blocked at admission."""
+        return len(self._admission)
+
+    def is_empty(self) -> bool:
+        """True when nothing is held or waiting."""
+        return not self.entries and not self._admission
+
+    def contains_line(self, line_addr: int) -> bool:
+        """True when a pending write to ``line_addr`` is held (WPQ read hit)."""
+        return any(entry.addr == line_addr for entry in self.entries)
+
+    # -- drain / clear ----------------------------------------------------------
+
+    def pop_for_drain(self, skip_sticky: bool = False) -> Optional[QueueEntry]:
+        """Remove and return the oldest drainable entry (FIFO).
+
+        With ``skip_sticky`` True, sticky entries are passed over unless
+        they are the only occupants and the queue is under pressure —
+        callers handle that case explicitly via ``pop_oldest``.
+        """
+        for index, entry in enumerate(self.entries):
+            if skip_sticky and entry.sticky:
+                continue
+            self.entries.pop(index)
+            self._refill_from_admission()
+            return entry
+        return None
+
+    def pop_oldest(self) -> Optional[QueueEntry]:
+        """Remove and return the oldest entry regardless of stickiness."""
+        if not self.entries:
+            return None
+        entry = self.entries.pop(0)
+        self._refill_from_admission()
+        return entry
+
+    def flash_clear(self, thread_id: int, txid: int, keep_last: bool = False) -> int:
+        """Drop every entry of (thread, txid); Proteus tx-end flash clear.
+
+        With ``keep_last`` the youngest matching entry is retained and
+        marked sticky (it carries the end-of-transaction mark and is
+        discarded when the thread's next transaction reaches the queue).
+        Returns the number of entries dropped.
+
+        Any *older* sticky end-mark of the same thread is retired here as
+        well — a younger transaction committing proves the older one did.
+        """
+        self.drop_stale_sticky(thread_id, txid)
+        matches = [
+            entry
+            for entry in self.entries
+            if entry.thread_id == thread_id and entry.txid == txid
+        ]
+        keep = matches[-1] if (keep_last and matches) else None
+        dropped = 0
+        for entry in matches:
+            if entry is keep:
+                entry.sticky = True
+                continue
+            self.entries.remove(entry)
+            dropped += 1
+        self.stats.add(f"{self.name}.flash_cleared", dropped)
+        self._refill_from_admission()
+        return dropped
+
+    def drop_stale_sticky(self, thread_id: int, newer_txid: int) -> int:
+        """Discard sticky entries of ``thread_id`` older than ``newer_txid``.
+
+        Called when the first log entry of a thread's next transaction
+        arrives (Proteus section 4.3 last-entry rule).
+        """
+        stale = [
+            entry
+            for entry in self.entries
+            if entry.sticky and entry.thread_id == thread_id and entry.txid < newer_txid
+        ]
+        for entry in stale:
+            self.entries.remove(entry)
+        if stale:
+            self.stats.add(f"{self.name}.sticky_dropped", len(stale))
+            self._refill_from_admission()
+        return len(stale)

@@ -1,0 +1,44 @@
+"""Functional persistence model: crash injection and recovery.
+
+The timing simulator (:mod:`repro.sim`) answers *how fast*; this package
+answers *is it correct*.  It replays the same workload traces through a
+word-granular functional model of the persistency domain, lets a test
+crash the machine at any transaction phase with any writeback
+interleaving the scheme's ordering rules permit, runs the scheme's
+recovery procedure, and checks transaction atomicity: the recovered
+image must equal the image after some whole number of committed
+transactions.
+
+The nondeterministic choices (which log entries and which data lines
+were durable at the crash) are explicit parameters, which makes the
+model ideal for property-based testing with hypothesis.
+"""
+
+from repro.persistence.checker import CheckResult, check_trace, check_workload
+from repro.persistence.crash import CrashImage, CrashPoint, Phase, crash_image
+from repro.persistence.model import (
+    FunctionalTx,
+    LogEntry,
+    build_functional_txs,
+    image_after,
+    images_equal,
+)
+from repro.persistence.recovery import RecoveryError, recover, recovery_cost
+
+__all__ = [
+    "CheckResult",
+    "CrashImage",
+    "CrashPoint",
+    "FunctionalTx",
+    "LogEntry",
+    "Phase",
+    "RecoveryError",
+    "build_functional_txs",
+    "check_trace",
+    "check_workload",
+    "crash_image",
+    "image_after",
+    "images_equal",
+    "recover",
+    "recovery_cost",
+]

@@ -1,0 +1,166 @@
+"""Exhaustive crash-state model checking.
+
+For small traces, enumerate *every* crash state a scheme's ordering
+rules permit — every transaction, every protocol phase, every durable
+subset of log entries, and every writeback subset consistent with
+log-before-data — run recovery on each, and check transaction atomicity.
+Random testing samples this space; the checker covers it, which is the
+right tool for protocol changes.
+
+The state space is exponential in the per-transaction entry/line counts,
+so the checker caps the subsets it enumerates (``max_subset_bits``) and
+falls back to boundary subsets (none / all / each singleton) beyond the
+cap; ``exhaustive=False`` in the result reports when that happened.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+
+from repro.core.schemes import Scheme
+from repro.isa.instructions import CACHE_LINE
+from repro.isa.trace import OpTrace
+from repro.persistence.crash import CrashPoint, Phase, crash_image
+from repro.persistence.model import (
+    FunctionalTx,
+    build_functional_txs,
+    image_after,
+    images_equal,
+)
+from repro.persistence.recovery import recover
+
+
+@dataclass
+class CheckResult:
+    """Outcome of one exhaustive check."""
+
+    scheme: Scheme
+    states_checked: int
+    exhaustive: bool
+    failures: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def _subsets(count: int, max_bits: int) -> Iterable[FrozenSet[int]]:
+    """All subsets when small; boundary subsets otherwise."""
+    if count <= max_bits:
+        for mask in range(1 << count):
+            yield frozenset(i for i in range(count) if mask & (1 << i))
+        return
+    yield frozenset()
+    yield frozenset(range(count))
+    for i in range(count):
+        yield frozenset({i})
+        yield frozenset(range(count)) - {i}
+
+
+def _covering_entries(tx: FunctionalTx, line: int) -> Set[int]:
+    return {
+        i
+        for i, entry in enumerate(tx.log_entries)
+        if not (entry.block + entry.grain <= line or line + CACHE_LINE <= entry.block)
+    }
+
+
+def _eligible_lines(tx: FunctionalTx, log_set: FrozenSet[int]) -> List[int]:
+    """Indices of written lines that may be durable given ``log_set``."""
+    eligible = []
+    for index, line in enumerate(tx.written_lines):
+        if _covering_entries(tx, line) <= set(log_set):
+            eligible.append(index)
+    return eligible
+
+
+def check_trace(
+    trace: OpTrace,
+    scheme: Scheme,
+    max_subset_bits: int = 6,
+    llt_capacity: int = None,
+) -> CheckResult:
+    """Enumerate crash states for every transaction of ``trace``.
+
+    Returns a :class:`CheckResult`; ``failures`` lists human-readable
+    descriptions of crash states whose recovery missed a transaction
+    boundary (empty for a correct protocol).
+    """
+    if not scheme.failure_safe:
+        raise ValueError(f"{scheme} has no recovery protocol to check")
+    initial, txs = build_functional_txs(trace, scheme, llt_capacity=llt_capacity)
+    result = CheckResult(scheme=scheme, states_checked=0, exhaustive=True)
+
+    for k, tx in enumerate(txs):
+        expected_before = image_after(initial, txs, k)
+        expected_after = image_after(initial, txs, k + 1)
+
+        def check(crash: CrashPoint, expected, label: str) -> None:
+            image = crash_image(initial, txs, scheme, crash)
+            recovered = recover(image)
+            result.states_checked += 1
+            if not images_equal(recovered, expected):
+                result.failures.append(f"tx {k}: {label}")
+
+        check(CrashPoint(k, Phase.BEFORE), expected_before, "before")
+        check(CrashPoint(k, Phase.FLUSHED), expected_before, "flushed")
+        check(CrashPoint(k, Phase.COMMITTED), expected_after, "committed")
+        if scheme.is_software:
+            check(CrashPoint(k, Phase.FLAGGED), expected_before, "flagged")
+            n_entries = len(tx.log_entries)
+            if n_entries > max_subset_bits:
+                result.exhaustive = False
+            for log_set in _subsets(n_entries, max_subset_bits):
+                check(
+                    CrashPoint(k, Phase.LOGGING, log_durable=log_set),
+                    expected_before,
+                    f"logging log={sorted(log_set)}",
+                )
+            n_lines = len(tx.written_lines)
+            if n_lines > max_subset_bits:
+                result.exhaustive = False
+            for data_set in _subsets(n_lines, max_subset_bits):
+                check(
+                    CrashPoint(k, Phase.IN_FLIGHT, data_durable=data_set),
+                    expected_before,
+                    f"in-flight data={sorted(data_set)}",
+                )
+            continue
+
+        # Hardware schemes: joint log x data enumeration under the
+        # log-before-data constraint.
+        n_entries = len(tx.log_entries)
+        if n_entries > max_subset_bits:
+            result.exhaustive = False
+        for log_set in _subsets(n_entries, max_subset_bits):
+            eligible = _eligible_lines(tx, log_set)
+            if len(eligible) > max_subset_bits:
+                result.exhaustive = False
+            for data_subset in _subsets(len(eligible), max_subset_bits):
+                data_set = frozenset(eligible[i] for i in data_subset)
+                check(
+                    CrashPoint(
+                        k, Phase.IN_FLIGHT,
+                        log_durable=log_set, data_durable=data_set,
+                    ),
+                    expected_before,
+                    f"in-flight log={sorted(log_set)} data={sorted(data_set)}",
+                )
+    return result
+
+
+def check_workload(
+    workload_cls,
+    scheme: Scheme,
+    seed: int = 1,
+    init_ops: int = 16,
+    sim_ops: int = 4,
+    **kwargs,
+) -> CheckResult:
+    """Convenience: generate a tiny workload trace and check it."""
+    workload = workload_cls(
+        thread_id=0, seed=seed, init_ops=init_ops, sim_ops=sim_ops
+    )
+    return check_trace(workload.generate(), scheme, **kwargs)

@@ -1,0 +1,219 @@
+"""Word-granular functional model of durable transactions.
+
+Converts a workload :class:`~repro.isa.trace.OpTrace` into per-transaction
+functional records: the ordered writes, the final value of every written
+word, the written cache lines, and the undo-log entries the logging
+scheme would create (with their pre-images).
+
+Granularity follows the schemes:
+
+* software logging logs every *candidate* range at cache-line
+  granularity — including lines the transaction never ends up writing
+  (conservative logging);
+* Proteus logs the 32 B blocks actually stored to, one entry per block
+  per transaction (the LLT's dedup);
+* ATOM logs the cache lines actually stored to, one entry per line.
+
+Pre-images are captured at first-log time.  With the default (perfect)
+dedup that is transaction start; an optional ``llt_capacity`` models a
+tiny LLT whose evictions cause re-logging mid-transaction — those later
+entries contain intra-transaction values and are exactly why recovery
+must use the *earliest* entry per address (paper section 4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.schemes import Scheme
+from repro.isa.instructions import CACHE_LINE, LOG_GRAIN
+from repro.isa.ops import OpKind, TxRecord
+from repro.isa.trace import OpTrace
+
+WORD = 8
+
+
+def _words_of(addr: int, size: int) -> List[int]:
+    return [addr + off for off in range(0, size, WORD)]
+
+
+def _block_words(block: int, grain: int) -> List[int]:
+    return [block + off for off in range(0, grain, WORD)]
+
+
+@dataclass
+class LogEntry:
+    """One undo-log entry: a block address and its pre-image words."""
+
+    block: int
+    grain: int
+    pre_image: Dict[int, int]
+    txid: int
+    order: int           # creation order within the transaction
+    tx_last: bool = False  # carries the end-of-transaction mark (Proteus)
+
+    def covers(self, word: int) -> bool:
+        return self.block <= word < self.block + self.grain
+
+
+@dataclass
+class FunctionalTx:
+    """Functional summary of one transaction under one scheme."""
+
+    txid: int
+    writes: List[Tuple[int, int, int]]       # (addr, size, value) in order
+    final_words: Dict[int, int]              # word -> value after the tx
+    written_lines: List[int]                 # distinct lines, first-write order
+    log_entries: List[LogEntry]              # scheme-specific undo entries
+
+    def entry_for_line(self, line: int) -> Optional[LogEntry]:
+        """The earliest entry covering any word of ``line``."""
+        for entry in self.log_entries:
+            if entry.block <= line < entry.block + max(entry.grain, CACHE_LINE):
+                return entry
+        return None
+
+
+def _log_grain(scheme: Scheme) -> int:
+    if scheme.is_sshl:
+        return LOG_GRAIN
+    return CACHE_LINE
+
+
+def build_functional_txs(
+    trace: OpTrace,
+    scheme: Scheme,
+    initial_image: Optional[Dict[int, int]] = None,
+    llt_capacity: Optional[int] = None,
+) -> Tuple[Dict[int, int], List[FunctionalTx]]:
+    """Build functional transaction records for a trace.
+
+    Returns ``(initial_image, txs)``.  ``llt_capacity`` (hardware schemes
+    only) bounds the per-transaction dedup filter: when more than that
+    many distinct blocks are logged, the oldest filter entry is evicted
+    and a later store to its block re-logs it with *current* (possibly
+    intra-transaction) values.
+    """
+    if initial_image is not None:
+        initial = dict(initial_image)
+    elif trace.initial_image is not None:
+        initial = dict(trace.initial_image)
+    else:
+        initial = {}
+    image = dict(initial)  # running view, mutated per transaction
+    txs: List[FunctionalTx] = []
+
+    for tx in trace.transactions():
+        txs.append(_build_one(tx, scheme, image, llt_capacity))
+    return initial, txs
+
+
+def _build_one(
+    tx: TxRecord,
+    scheme: Scheme,
+    image: Dict[int, int],
+    llt_capacity: Optional[int],
+) -> FunctionalTx:
+    grain = _log_grain(scheme)
+    log_entries: List[LogEntry] = []
+    order = 0
+
+    if scheme.failure_safe and scheme.is_software:
+        # Conservative: log every candidate line up front, pre-tx values.
+        logged = set()
+        for base, size in tx.log_candidates:
+            first = base & ~(CACHE_LINE - 1)
+            last = (base + size - 1) & ~(CACHE_LINE - 1)
+            for line in range(first, last + CACHE_LINE, CACHE_LINE):
+                if line in logged:
+                    continue
+                logged.add(line)
+                pre = {w: image.get(w, 0) for w in _block_words(line, CACHE_LINE)}
+                log_entries.append(
+                    LogEntry(line, CACHE_LINE, pre, tx.txid, order)
+                )
+                order += 1
+
+    # Execute the body word by word, logging per store for HW schemes.
+    writes: List[Tuple[int, int, int]] = []
+    final_words: Dict[int, int] = {}
+    written_lines: List[int] = []
+    seen_lines = set()
+    working = dict(image)  # in-flight view (cache contents)
+    filter_fifo: List[int] = []  # functional LLT, FIFO eviction
+    filter_set = set()
+
+    for op in tx.body:
+        if op.kind is not OpKind.WRITE:
+            continue
+        value = op.value if op.value is not None else 0
+        writes.append((op.addr, op.size, value))
+        for word in _words_of(op.addr, op.size):
+            if scheme.failure_safe and not scheme.is_software:
+                block = word & ~(grain - 1)
+                if block not in filter_set:
+                    pre = {
+                        w: working.get(w, 0) for w in _block_words(block, grain)
+                    }
+                    log_entries.append(
+                        LogEntry(block, grain, pre, tx.txid, order)
+                    )
+                    order += 1
+                    filter_set.add(block)
+                    filter_fifo.append(block)
+                    if llt_capacity is not None and len(filter_fifo) > llt_capacity:
+                        evicted = filter_fifo.pop(0)
+                        filter_set.discard(evicted)
+            working[word] = value
+            final_words[word] = value
+            line = word & ~(CACHE_LINE - 1)
+            if line not in seen_lines:
+                seen_lines.add(line)
+                written_lines.append(line)
+
+    if log_entries:
+        log_entries[-1].tx_last = True
+
+    # Commit the transaction into the running image.
+    image.update(final_words)
+    return FunctionalTx(
+        txid=tx.txid,
+        writes=writes,
+        final_words=final_words,
+        written_lines=written_lines,
+        log_entries=log_entries,
+    )
+
+
+def images_equal(a: Dict[int, int], b: Dict[int, int]) -> bool:
+    """Memory-image equality with the absent-word-is-zero convention."""
+    for word in a.keys() | b.keys():
+        if a.get(word, 0) != b.get(word, 0):
+            return False
+    return True
+
+
+def image_diff(a: Dict[int, int], b: Dict[int, int], limit: int = 8) -> List[str]:
+    """Human-readable differences between two images (for test output)."""
+    diffs = []
+    for word in sorted(a.keys() | b.keys()):
+        left, right = a.get(word, 0), b.get(word, 0)
+        if left != right:
+            diffs.append(f"{word:#x}: {left} != {right}")
+            if len(diffs) >= limit:
+                diffs.append("...")
+                break
+    return diffs
+
+
+def image_after(
+    initial: Dict[int, int], txs: List[FunctionalTx], count: int
+) -> Dict[int, int]:
+    """The durable image after the first ``count`` transactions committed."""
+    if not 0 <= count <= len(txs):
+        raise ValueError(f"count {count} out of range 0..{len(txs)}")
+    image = dict(initial)
+    for tx in txs[:count]:
+        image.update(tx.final_words)
+    return image

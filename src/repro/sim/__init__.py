@@ -1,0 +1,47 @@
+"""Simulation infrastructure: clock/event engine, configuration, statistics,
+and the top-level :class:`~repro.sim.simulator.Simulator`.
+
+The simulator itself is exported lazily: it imports the scheme adapters
+from :mod:`repro.core`, whose low-level structures in turn use
+:mod:`repro.sim.stats` — importing it eagerly here would create a cycle.
+"""
+
+from repro.sim.config import (
+    CacheConfig,
+    CoreConfig,
+    MemoryConfig,
+    ProteusConfig,
+    SystemConfig,
+    dram_config,
+    fast_nvm_config,
+    slow_nvm_config,
+)
+from repro.sim.engine import Engine
+from repro.sim.stats import Stats
+
+_LAZY = ("SimResult", "Simulator", "run_trace", "run_workload")
+
+__all__ = [
+    "CacheConfig",
+    "CoreConfig",
+    "Engine",
+    "MemoryConfig",
+    "ProteusConfig",
+    "SimResult",
+    "Simulator",
+    "Stats",
+    "SystemConfig",
+    "dram_config",
+    "fast_nvm_config",
+    "run_trace",
+    "run_workload",
+    "slow_nvm_config",
+]
+
+
+def __getattr__(name):
+    if name in _LAZY:
+        from repro.sim import simulator
+
+        return getattr(simulator, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

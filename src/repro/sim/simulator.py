@@ -1,0 +1,244 @@
+"""Top-level simulator.
+
+Builds the machine (cores + caches + memory controller) for one logging
+scheme, lowers the per-thread workload traces, and runs the cycle loop to
+completion.  The loop fast-forwards the clock to the next memory event
+whenever every core is stalled, so long NVM latencies cost nothing to
+simulate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.atom import AtomAdapter
+from repro.core.codegen import CodeGenerator
+from repro.core.log_area import LogArea
+from repro.core.proteus import ProteusAdapter
+from repro.core.schemes import Scheme
+from repro.cpu.adapter import NullAdapter
+from repro.cpu.ooo_core import OooCore
+from repro.isa.trace import InstructionTrace, OpTrace
+from repro.mem.hierarchy import CacheHierarchy
+from repro.mem.memctrl import MemoryController
+from repro.sim.config import SystemConfig, fast_nvm_config
+from repro.sim.engine import Engine
+from repro.sim.stats import Stats
+from repro.workloads.heap import ThreadAddressSpace
+
+
+@dataclass
+class SimResult:
+    """Outcome of one simulation run."""
+
+    scheme: Scheme
+    config: SystemConfig
+    stats: Stats
+    cycles: int
+
+    @property
+    def ipc(self) -> float:
+        return self.stats.instructions() / self.cycles if self.cycles else 0.0
+
+    @property
+    def nvm_writes(self) -> int:
+        return self.stats.nvm_writes()
+
+    @property
+    def frontend_stalls(self) -> int:
+        return self.stats.frontend_stalls()
+
+    def speedup_over(self, baseline: "SimResult") -> float:
+        """Speedup of this run relative to ``baseline`` (cycles ratio)."""
+        if self.cycles == 0:
+            raise ValueError("run completed in zero cycles")
+        return baseline.cycles / self.cycles
+
+
+class Simulator:
+    """One machine instance executing lowered traces under one scheme."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        scheme: Scheme,
+        op_traces: Sequence[OpTrace],
+    ) -> None:
+        if len(op_traces) > config.cores:
+            raise ValueError(
+                f"{len(op_traces)} traces but only {config.cores} cores"
+            )
+        self.config = config
+        self.scheme = scheme
+        self.engine = Engine()
+        self.stats = Stats()
+        self.memctrl = MemoryController(self.engine, config.memory, self.stats)
+        if scheme.uses_lpq:
+            self.memctrl.attach_lpq(
+                config.proteus.lpq_entries,
+                log_write_removal=(
+                    scheme.log_write_removal and config.proteus.log_write_removal
+                ),
+            )
+        self.hierarchy = CacheHierarchy(self.engine, config, self.memctrl, self.stats)
+        self.cores: List[OooCore] = []
+        self.traces: List[InstructionTrace] = []
+        for op_trace in op_traces:
+            self._build_core(op_trace)
+
+    def _build_core(self, op_trace: OpTrace) -> None:
+        thread_id = op_trace.thread_id
+        space = ThreadAddressSpace(thread_id)
+        layout = space.layout()
+        generator = CodeGenerator(self.scheme, layout, thread_id)
+        trace = generator.lower_trace(op_trace)
+        self.traces.append(trace)
+
+        if self.scheme.is_software:
+            self.memctrl.register_log_region(layout.sw_log_base, layout.sw_log_size)
+            self.memctrl.register_log_region(layout.logflag_addr, 64)
+            # The circular software log wraps every few thousand
+            # transactions, so after the init fast-forward it is
+            # cache resident like the rest of the working set.
+            for line in range(layout.sw_log_base, layout.sw_log_base + layout.sw_log_size, 64):
+                self.hierarchy.warm(thread_id, line)
+            self.hierarchy.warm(thread_id, layout.logflag_addr)
+
+        adapter = None
+        if self.scheme.is_sshl:
+            log_area = LogArea(layout.hw_log_base, layout.hw_log_size, thread_id)
+            adapter = ProteusAdapter(
+                self.engine,
+                self.config.proteus,
+                self.memctrl,
+                log_area,
+                self.stats,
+                thread_id,
+            )
+        elif self.scheme.is_hardware:
+            log_area = LogArea(layout.hw_log_base, layout.hw_log_size, thread_id)
+            adapter = AtomAdapter(
+                self.engine,
+                self.config.atom,
+                self.memctrl,
+                log_area,
+                self.stats,
+                thread_id,
+            )
+        for line in op_trace.warm_lines:
+            self.hierarchy.warm(thread_id, line)
+
+        core = OooCore(
+            core_id=thread_id,
+            engine=self.engine,
+            config=self.config.core,
+            trace=trace,
+            hierarchy=self.hierarchy,
+            memctrl=self.memctrl,
+            stats=self.stats,
+            adapter=adapter if adapter is not None else NullAdapter(),
+        )
+        self.cores.append(core)
+
+    # -- the cycle loop -------------------------------------------------------------
+
+    def run(self, max_cycles: int = 500_000_000) -> SimResult:
+        """Run every core's trace to completion."""
+        engine = self.engine
+        cores = self.cores
+        while True:
+            if all(core.finished() for core in cores):
+                break
+            if engine.cycle > max_cycles:
+                raise RuntimeError(
+                    f"simulation exceeded {max_cycles} cycles "
+                    f"(scheme={self.scheme}, {self._progress_report()})"
+                )
+            fired = engine.fire_due_events()
+            progress = False
+            for core in cores:
+                if not core.finished():
+                    if core.tick():
+                        progress = True
+            if progress or fired:
+                engine.advance(1)
+                continue
+            next_cycle = engine.next_event_cycle()
+            if next_cycle is None:
+                raise RuntimeError(
+                    f"deadlock: no core can progress and no events are "
+                    f"pending (scheme={self.scheme}, {self._progress_report()})"
+                )
+            engine.cycle = max(engine.cycle, next_cycle)
+        self._final_drain()
+        self.stats.counters["cycles"] = engine.cycle
+        return SimResult(
+            scheme=self.scheme,
+            config=self.config,
+            stats=self.stats,
+            cycles=engine.cycle,
+        )
+
+    def _final_drain(self) -> None:
+        """Flush remaining controller-side writes so NVM write counts are
+        complete.
+
+        The WPQ always drains.  A Proteus+NoLWR LPQ also drains (those
+        entries would have been written eventually); a Proteus LPQ does
+        not — its surviving entries belong to committed transactions and
+        would have been flash cleared, which is the point of log write
+        removal.
+        """
+        if self.memctrl.lpq is not None and not self.memctrl.log_write_removal:
+            self.memctrl.flush_logs()
+        # Nudge the WPQ pump in case it idled with entries queued.
+        self.memctrl._pump_wpq()
+        while self.memctrl.persistent_writes_pending() or self.engine.pending_events():
+            if not self.engine.advance_to_next_event():
+                break
+            self.memctrl._pump_wpq()
+
+    def _progress_report(self) -> str:
+        parts = []
+        for core in self.cores:
+            parts.append(
+                f"core{core.core_id}: pc={core.frontend.pc}/{len(core.frontend.trace)} "
+                f"rob={len(core.rob)} sb={core.store_buffer.occupancy()}"
+                f"+{core.store_buffer.in_flight()}inflight pmem={core.pending_pmem}"
+            )
+        return "; ".join(parts)
+
+
+def run_trace(
+    op_traces: Sequence[OpTrace],
+    scheme: Scheme,
+    config: Optional[SystemConfig] = None,
+    max_cycles: int = 500_000_000,
+) -> SimResult:
+    """Convenience wrapper: build a simulator and run it."""
+    if config is None:
+        config = fast_nvm_config(cores=max(1, len(op_traces)))
+    return Simulator(config, scheme, op_traces).run(max_cycles=max_cycles)
+
+
+def run_workload(
+    workload_cls,
+    scheme: Scheme,
+    config: Optional[SystemConfig] = None,
+    threads: int = 1,
+    seed: int = 1,
+    max_cycles: int = 500_000_000,
+    **workload_kwargs,
+) -> SimResult:
+    """Generate per-thread traces for a workload class and simulate them.
+
+    Traces depend only on (workload, threads, seed, sizes), never on the
+    scheme, so scheme comparisons run identical work.
+    """
+    from repro.workloads.base import generate_traces
+
+    traces = generate_traces(workload_cls, threads=threads, seed=seed, **workload_kwargs)
+    if config is None:
+        config = fast_nvm_config(cores=threads)
+    return run_trace(traces, scheme, config, max_cycles=max_cycles)

@@ -1,0 +1,58 @@
+"""Benchmark workloads (Table 2 of the paper) plus the persistent heap
+they allocate from.
+
+Each workload is a real data-structure implementation that performs
+randomized insert/delete (or swap) operations and records, per operation,
+one durable transaction: the traversal loads, the mutating stores with
+concrete values, and the conservative *log candidate* set a software undo
+logger would have to persist up front.
+"""
+
+from repro.workloads.avltree_wl import AvlTreeWorkload
+from repro.workloads.btree_wl import BTreeWorkload
+from repro.workloads.hashmap_wl import HashMapWorkload
+from repro.workloads.heap import PersistentHeap, ThreadAddressSpace
+from repro.workloads.linkedlist_wl import LinkedListWorkload
+from repro.workloads.queue_wl import QueueWorkload
+from repro.workloads.rbtree_wl import RbTreeWorkload
+from repro.workloads.stringswap_wl import StringSwapWorkload
+
+#: Paper abbreviation -> workload class (Table 2 order).
+WORKLOADS = {
+    "QE": QueueWorkload,
+    "HM": HashMapWorkload,
+    "SS": StringSwapWorkload,
+    "AT": AvlTreeWorkload,
+    "BT": BTreeWorkload,
+    "RT": RbTreeWorkload,
+}
+
+#: Order in which the paper's figures present the benchmarks.
+BENCHMARK_ORDER = ("QE", "HM", "SS", "AT", "BT", "RT")
+
+
+def make_workload(name: str, thread_id: int = 0, seed: int = 1, **kwargs):
+    """Instantiate a workload by its paper abbreviation."""
+    try:
+        cls = WORKLOADS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload {name!r}; choose one of {sorted(WORKLOADS)}"
+        ) from None
+    return cls(thread_id=thread_id, seed=seed, **kwargs)
+
+
+__all__ = [
+    "AvlTreeWorkload",
+    "BENCHMARK_ORDER",
+    "BTreeWorkload",
+    "HashMapWorkload",
+    "LinkedListWorkload",
+    "PersistentHeap",
+    "QueueWorkload",
+    "RbTreeWorkload",
+    "StringSwapWorkload",
+    "ThreadAddressSpace",
+    "WORKLOADS",
+    "make_workload",
+]

@@ -1,0 +1,165 @@
+"""Common workload harness.
+
+A workload owns a :class:`~repro.workloads.heap.PersistentHeap`, a seeded
+RNG, and a transaction recorder.  Subclasses implement data-structure
+operations by calling the recorder helpers (``rec_read`` / ``rec_write``
+/ ``rec_compute`` / ``log_candidate``) while mutating their in-memory
+structures; the harness packages each operation into a
+:class:`~repro.isa.ops.TxRecord`.
+
+The harness also maintains a *golden image* — the final value of every
+word ever stored — so the functional persistence layer and recovery tests
+can validate results against it.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.isa.ops import Op, TxRecord
+from repro.isa.trace import OpTrace
+from repro.workloads.heap import PersistentHeap, ThreadAddressSpace
+
+
+class Workload:
+    """Base class for the Table 2 benchmarks."""
+
+    #: paper abbreviation; subclasses override.
+    name = "??"
+    #: paper defaults (Table 2); subclasses override.
+    default_init_ops = 1000
+    default_sim_ops = 500
+
+    #: non-transactional app work between operations (reading the op from
+    #: the input list, key parsing, lock acquire/release, allocator
+    #: bookkeeping), in ALU instructions, lowered as a dependent chain.
+    think_instructions = 300
+    #: per-instruction latency of the think chain.
+    think_latency = 2
+
+    def __init__(
+        self,
+        thread_id: int = 0,
+        seed: int = 1,
+        init_ops: Optional[int] = None,
+        sim_ops: Optional[int] = None,
+        think_instructions: Optional[int] = None,
+    ) -> None:
+        self.thread_id = thread_id
+        self.space = ThreadAddressSpace(thread_id)
+        self.heap = PersistentHeap(self.space)
+        self.rng = random.Random((seed << 8) ^ thread_id)
+        self.init_ops = self.default_init_ops if init_ops is None else init_ops
+        self.sim_ops = self.default_sim_ops if sim_ops is None else sim_ops
+        if think_instructions is not None:
+            self.think_instructions = think_instructions
+        self.golden: Dict[int, int] = {}
+        self._recording: Optional[TxRecord] = None
+        self._next_txid = 1
+
+    # -- recording helpers ---------------------------------------------------------
+
+    def begin_tx(self) -> TxRecord:
+        """Open a transaction record; operations append to it."""
+        if self._recording is not None:
+            raise RuntimeError("nested transactions are not supported")
+        self._recording = TxRecord(txid=self._next_txid)
+        self._next_txid += 1
+        return self._recording
+
+    def end_tx(self) -> TxRecord:
+        """Close and return the open transaction record."""
+        tx = self._recording
+        if tx is None:
+            raise RuntimeError("end_tx without begin_tx")
+        self._recording = None
+        return tx
+
+    def _require_tx(self) -> TxRecord:
+        if self._recording is None:
+            raise RuntimeError("operation recorded outside a transaction")
+        return self._recording
+
+    def rec_read(self, addr: int, size: int = 8, chained: bool = False) -> None:
+        """Record a transactional read."""
+        self._require_tx().body.append(Op.read(addr, size=size, chained=chained))
+
+    def rec_write(self, addr: int, value: int, size: int = 8) -> None:
+        """Record a transactional write and update the golden image."""
+        self._require_tx().body.append(Op.write(addr, value, size=size))
+        for offset in range(0, size, 8):
+            self.golden[addr + offset] = value
+
+    def rec_compute(self, amount: int = 1) -> None:
+        """Record ``amount`` instructions of computation."""
+        self._require_tx().body.append(Op.compute(amount))
+
+    def log_candidate(self, addr: int, size: int = 64) -> None:
+        """Declare a range the software undo logger must log up front."""
+        self._require_tx().log_candidates.append((addr, size))
+
+    # -- trace generation -------------------------------------------------------------
+
+    def setup(self) -> None:
+        """Populate initial state (the paper's InitOps, fast-forwarded).
+
+        Subclasses build their structures here *without* recording
+        transactions; initial values still land in the golden image via
+        :meth:`poke`.
+        """
+        raise NotImplementedError
+
+    def run_op(self) -> TxRecord:
+        """Execute one randomized operation inside a transaction."""
+        raise NotImplementedError
+
+    def poke(self, addr: int, value: int, size: int = 8) -> None:
+        """Set initial (pre-simulation) memory contents."""
+        for offset in range(0, size, 8):
+            self.golden[addr + offset] = value
+
+    def generate(self) -> OpTrace:
+        """Produce this thread's operation trace (setup + sim_ops)."""
+        self.setup()
+        trace = OpTrace(thread_id=self.thread_id)
+        trace.warm_lines = self.warm_lines()
+        trace.initial_image = dict(self.golden)
+        for _ in range(self.sim_ops):
+            if self.think_instructions:
+                trace.append(
+                    Op.compute(self.think_instructions, latency=self.think_latency)
+                )
+            trace.append(self.run_op())
+        trace.validate()
+        return trace
+
+    def warm_lines(self) -> List[int]:
+        """Cache lines touched by initialization, in touch order.
+
+        Derived from the golden image, whose insertion order follows the
+        setup phase's pokes.  Replayed into the cache hierarchy before
+        the measured run (see :class:`~repro.isa.trace.OpTrace`).
+        """
+        lines: List[int] = []
+        seen = set()
+        for addr in self.golden:
+            line = addr & ~63
+            if line not in seen:
+                seen.add(line)
+                lines.append(line)
+        return lines
+
+    def check_invariants(self) -> None:
+        """Structure-specific consistency checks; subclasses override."""
+
+
+def generate_traces(
+    workload_cls, threads: int, seed: int = 1, **kwargs
+) -> List[OpTrace]:
+    """Generate one trace per thread for a workload class."""
+    traces = []
+    for thread_id in range(threads):
+        workload = workload_cls(thread_id=thread_id, seed=seed, **kwargs)
+        traces.append(workload.generate())
+    return traces

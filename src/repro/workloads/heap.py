@@ -1,0 +1,116 @@
+"""Persistent heap and per-thread address-space layout.
+
+Every thread owns a disjoint slice of the (simulated) physical address
+space so that the paper's locking assumption — no cross-thread conflicts
+— holds by construction:
+
+========  ==========================  =====================================
+offset    region                      used by
+========  ==========================  =====================================
++0x0000_0000  data heap               workload node allocations
++0x4000_0000  software log area       PMEM software undo logging (Fig. 2)
++0x5000_0000  hardware log area       Proteus LTA / ATOM log slots
++0x6000_0000  logFlag                 software logging progress flag
+========  ==========================  =====================================
+
+The heap is a 64 B-aligned bump allocator with per-size free lists, so
+delete-then-insert patterns reuse addresses the way a real allocator
+would (this matters for cache behavior and LLT locality).  The paper
+assumes allocation/deallocation themselves are failure safe (section
+5.2), and so do we.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List
+
+#: Size of one thread's address-space slice.
+THREAD_SPAN = 0x1_0000_0000
+
+#: Region offsets within a thread's slice.
+HEAP_OFFSET = 0x0000_0000
+SW_LOG_OFFSET = 0x4000_0000
+HW_LOG_OFFSET = 0x5000_0000
+LOGFLAG_OFFSET = 0x6000_0000
+
+#: Default region sizes.
+DEFAULT_SW_LOG_SIZE = 512 * 1024
+DEFAULT_HW_LOG_SIZE = 1024 * 1024
+
+ALIGNMENT = 64
+
+
+class ThreadAddressSpace:
+    """Address-space slice for one thread."""
+
+    def __init__(
+        self,
+        thread_id: int,
+        sw_log_size: int = DEFAULT_SW_LOG_SIZE,
+        hw_log_size: int = DEFAULT_HW_LOG_SIZE,
+    ) -> None:
+        self.thread_id = thread_id
+        self.base = (thread_id + 1) * THREAD_SPAN
+        self.heap_base = self.base + HEAP_OFFSET
+        self.sw_log_base = self.base + SW_LOG_OFFSET
+        self.sw_log_size = sw_log_size
+        self.hw_log_base = self.base + HW_LOG_OFFSET
+        self.hw_log_size = hw_log_size
+        self.logflag_addr = self.base + LOGFLAG_OFFSET
+
+    def layout(self):
+        """The :class:`~repro.core.codegen.ThreadLayout` for codegen."""
+        from repro.core.codegen import ThreadLayout
+
+        return ThreadLayout(
+            sw_log_base=self.sw_log_base,
+            sw_log_size=self.sw_log_size,
+            logflag_addr=self.logflag_addr,
+            hw_log_base=self.hw_log_base,
+            hw_log_size=self.hw_log_size,
+        )
+
+    def owns(self, addr: int) -> bool:
+        """True when ``addr`` belongs to this thread's slice."""
+        return self.base <= addr < self.base + THREAD_SPAN
+
+
+class PersistentHeap:
+    """Bump allocator with size-class free lists, 64 B aligned."""
+
+    def __init__(self, space: ThreadAddressSpace) -> None:
+        self.space = space
+        self._cursor = space.heap_base
+        self._free: Dict[int, List[int]] = defaultdict(list)
+        self.allocated_bytes = 0
+        self.live_objects = 0
+
+    @staticmethod
+    def _size_class(size: int) -> int:
+        if size <= 0:
+            raise ValueError("allocation size must be positive")
+        return (size + ALIGNMENT - 1) & ~(ALIGNMENT - 1)
+
+    def alloc(self, size: int) -> int:
+        """Allocate ``size`` bytes; returns a 64 B-aligned address."""
+        size_class = self._size_class(size)
+        free_list = self._free[size_class]
+        if free_list:
+            addr = free_list.pop()
+        else:
+            addr = self._cursor
+            self._cursor += size_class
+            self.allocated_bytes += size_class
+        self.live_objects += 1
+        return addr
+
+    def free(self, addr: int, size: int) -> None:
+        """Return an allocation to its size-class free list."""
+        size_class = self._size_class(size)
+        self._free[size_class].append(addr)
+        self.live_objects -= 1
+
+    def high_water(self) -> int:
+        """Bytes of address space ever consumed by the bump cursor."""
+        return self._cursor - self.space.heap_base

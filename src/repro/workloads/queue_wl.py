@@ -1,0 +1,132 @@
+"""QE — enqueue/dequeue in 8 linked-list queues (Table 2).
+
+Nodes are 64 B, cache-line aligned: ``value`` at +0, ``next`` at +8.
+Each queue has a 64 B header holding ``head`` (+0), ``tail`` (+8) and a
+length word (+16).  One enqueue or dequeue is one durable transaction.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.isa.ops import TxRecord
+from repro.workloads.base import Workload
+
+NODE_SIZE = 64
+VALUE_OFF = 0
+NEXT_OFF = 8
+HEAD_OFF = 0
+TAIL_OFF = 8
+LEN_OFF = 16
+
+
+class _Queue:
+    """In-memory mirror of one simulated queue."""
+
+    __slots__ = ("header", "nodes")
+
+    def __init__(self, header: int) -> None:
+        self.header = header
+        self.nodes: List[int] = []  # node addresses, head first
+
+
+class QueueWorkload(Workload):
+    """Eight FIFO queues, randomized enqueue/dequeue."""
+
+    name = "QE"
+    default_init_ops = 20000
+    default_sim_ops = 400
+    think_instructions = 1750
+    NUM_QUEUES = 8
+
+    def setup(self) -> None:
+        self.queues = [
+            _Queue(self.heap.alloc(NODE_SIZE)) for _ in range(self.NUM_QUEUES)
+        ]
+        for queue in self.queues:
+            self.poke(queue.header + HEAD_OFF, 0)
+            self.poke(queue.header + TAIL_OFF, 0)
+            self.poke(queue.header + LEN_OFF, 0)
+        for index in range(self.init_ops):
+            queue = self.queues[index % self.NUM_QUEUES]
+            self._initial_enqueue(queue, self.rng.getrandbits(32))
+
+    def _initial_enqueue(self, queue: _Queue, value: int) -> None:
+        node = self.heap.alloc(NODE_SIZE)
+        self.poke(node + VALUE_OFF, value)
+        self.poke(node + NEXT_OFF, 0)
+        if queue.nodes:
+            self.poke(queue.nodes[-1] + NEXT_OFF, node)
+        else:
+            self.poke(queue.header + HEAD_OFF, node)
+        self.poke(queue.header + TAIL_OFF, node)
+        self.poke(queue.header + LEN_OFF, len(queue.nodes) + 1)
+        queue.nodes.append(node)
+
+    # -- simulated operations -----------------------------------------------------
+
+    def run_op(self) -> TxRecord:
+        queue = self.rng.choice(self.queues)
+        do_dequeue = queue.nodes and self.rng.random() < 0.5
+        self.begin_tx()
+        if do_dequeue:
+            self._dequeue(queue)
+        else:
+            self._enqueue(queue, self.rng.getrandbits(32))
+        return self.end_tx()
+
+    def _enqueue(self, queue: _Queue, value: int) -> None:
+        node = self.heap.alloc(NODE_SIZE)
+        tail = queue.nodes[-1] if queue.nodes else 0
+        # Conservative software undo log: the new node, the old tail (its
+        # next pointer is rewritten) and the header.
+        self.log_candidate(node, NODE_SIZE)
+        if tail:
+            self.log_candidate(tail, NODE_SIZE)
+        self.log_candidate(queue.header, NODE_SIZE)
+
+        self.rec_compute(2)  # value generation / header address math
+        self.rec_read(queue.header + TAIL_OFF)
+        # Initialize the whole 64 B node (allocator + constructor writes).
+        self.rec_write(node + VALUE_OFF, value)
+        self.rec_write(node + NEXT_OFF, 0)
+        for offset in range(16, NODE_SIZE, 8):
+            self.rec_write(node + offset, 0)
+        if tail:
+            self.rec_write(tail + NEXT_OFF, node)
+        else:
+            self.rec_write(queue.header + HEAD_OFF, node)
+        self.rec_write(queue.header + TAIL_OFF, node)
+        self.rec_write(queue.header + LEN_OFF, len(queue.nodes) + 1)
+        queue.nodes.append(node)
+
+    def _dequeue(self, queue: _Queue) -> None:
+        node = queue.nodes[0]
+        self.log_candidate(queue.header, NODE_SIZE)
+
+        self.rec_compute(1)
+        self.rec_read(queue.header + HEAD_OFF)
+        self.rec_read(node + NEXT_OFF, chained=True)
+        next_node = queue.nodes[1] if len(queue.nodes) > 1 else 0
+        self.rec_write(queue.header + HEAD_OFF, next_node)
+        if not next_node:
+            self.rec_write(queue.header + TAIL_OFF, 0)
+        self.rec_write(queue.header + LEN_OFF, len(queue.nodes) - 1)
+        queue.nodes.pop(0)
+        self.heap.free(node, NODE_SIZE)
+
+    # -- validation ------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Golden image must match the mirrored queue structure."""
+        for queue in self.queues:
+            expected_head = queue.nodes[0] if queue.nodes else 0
+            if self.golden.get(queue.header + HEAD_OFF, 0) != expected_head:
+                raise AssertionError(f"queue {queue.header:#x}: head mismatch")
+            if self.golden.get(queue.header + LEN_OFF, 0) != len(queue.nodes):
+                raise AssertionError(f"queue {queue.header:#x}: length mismatch")
+            for position, node in enumerate(queue.nodes[:-1]):
+                if self.golden.get(node + NEXT_OFF, 0) != queue.nodes[position + 1]:
+                    raise AssertionError(
+                        f"queue {queue.header:#x}: broken link at {position}"
+                    )

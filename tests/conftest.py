@@ -1,0 +1,58 @@
+"""Shared fixtures for the test suite.
+
+Simulation-based tests use deliberately tiny workloads (tens of
+operations, small init sizes) so the whole suite stays fast; the bench
+suite under ``benchmarks/`` is where paper-scale sweeps live.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.schemes import Scheme
+from repro.sim.config import SystemConfig, fast_nvm_config
+from repro.sim.engine import Engine
+from repro.sim.stats import Stats
+from repro.workloads import QueueWorkload
+from repro.workloads.base import generate_traces
+
+
+@pytest.fixture
+def engine() -> Engine:
+    return Engine()
+
+
+@pytest.fixture
+def stats() -> Stats:
+    return Stats()
+
+
+@pytest.fixture
+def small_config() -> SystemConfig:
+    """A one-core fast-NVM machine for unit-level simulation tests."""
+    return fast_nvm_config(cores=1)
+
+
+@pytest.fixture
+def two_core_config() -> SystemConfig:
+    return fast_nvm_config(cores=2)
+
+
+@pytest.fixture(scope="session")
+def queue_traces():
+    """One small queue trace, reused across tests (read-only)."""
+    return generate_traces(QueueWorkload, threads=1, seed=11, init_ops=64, sim_ops=12)
+
+
+@pytest.fixture(scope="session")
+def queue_traces_two_threads():
+    return generate_traces(QueueWorkload, threads=2, seed=11, init_ops=64, sim_ops=10)
+
+
+def run_small(workload_cls, scheme: Scheme, **kwargs):
+    """Helper: run a tiny single-thread simulation of a workload."""
+    from repro.sim.simulator import run_workload
+
+    defaults = dict(threads=1, seed=11, init_ops=64, sim_ops=10)
+    defaults.update(kwargs)
+    return run_workload(workload_cls, scheme, **defaults)

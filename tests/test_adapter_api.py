@@ -1,0 +1,62 @@
+"""Tests for the LoggingAdapter base API and NullAdapter behavior."""
+
+import pytest
+
+from repro.cpu.adapter import LoggingAdapter, NullAdapter
+from repro.cpu.ooo_core import DynInstr
+from repro.isa.instructions import store, tx_end
+
+
+def test_base_adapter_is_inert():
+    adapter = LoggingAdapter()
+    dyn = DynInstr(store(0x100, value=1), 0)
+    assert adapter.dispatch_blocked(dyn) is None
+    assert adapter.start_execute(dyn) is False
+    assert adapter.retire_blocked(dyn) is False
+    assert adapter.store_release_blocked(0x100, 0) is False
+    assert adapter.quiesced() is True
+    adapter.on_retire(dyn)  # no-op, must not raise
+
+
+def test_null_adapter_used_for_software_schemes():
+    from repro.core.schemes import Scheme
+    from repro.sim.config import fast_nvm_config
+    from repro.sim.simulator import Simulator
+    from repro.workloads.base import generate_traces
+    from repro.workloads.queue_wl import QueueWorkload
+
+    traces = generate_traces(QueueWorkload, threads=1, seed=2, init_ops=24, sim_ops=3)
+    for scheme in (Scheme.PMEM, Scheme.PMEM_PCOMMIT, Scheme.PMEM_NOLOG,
+                   Scheme.PMEM_STRICT):
+        sim = Simulator(fast_nvm_config(cores=1), scheme, traces)
+        assert isinstance(sim.cores[0].adapter, NullAdapter)
+
+
+def test_hardware_schemes_get_real_adapters():
+    from repro.core.atom import AtomAdapter
+    from repro.core.proteus import ProteusAdapter
+    from repro.core.schemes import Scheme
+    from repro.sim.config import fast_nvm_config
+    from repro.sim.simulator import Simulator
+    from repro.workloads.base import generate_traces
+    from repro.workloads.queue_wl import QueueWorkload
+
+    traces = generate_traces(QueueWorkload, threads=1, seed=2, init_ops=24, sim_ops=3)
+    config = fast_nvm_config(cores=1)
+    assert isinstance(
+        Simulator(config, Scheme.ATOM, traces).cores[0].adapter, AtomAdapter
+    )
+    for scheme in (Scheme.PROTEUS, Scheme.PROTEUS_NOLWR):
+        adapter = Simulator(config, scheme, traces).cores[0].adapter
+        assert isinstance(adapter, ProteusAdapter)
+
+
+def test_adapter_bind_gives_core_access():
+    adapter = NullAdapter()
+
+    class FakeCore:
+        pass
+
+    core = FakeCore()
+    adapter.bind(core)
+    assert adapter.core is core

@@ -1,0 +1,81 @@
+"""Tests for the experiment drivers (tiny scale)."""
+
+import pytest
+
+from repro.analysis import (
+    fig6_speedup_nvm,
+    fig11_logq_sweep,
+    format_table,
+    table3_large_transactions,
+    table4_llt_miss_rate,
+)
+from repro.analysis.report import format_comparison, geomean_row
+
+TINY = dict(threads=1, scale=0.05)
+
+
+@pytest.fixture(scope="module")
+def fig6():
+    return fig6_speedup_nvm(**TINY)
+
+
+def test_fig6_structure(fig6):
+    assert fig6.columns[-1] == "geomean"
+    assert len(fig6.columns) == 7
+    for label, values in fig6.rows.items():
+        assert len(values) == 7
+        assert all(v > 0 for v in values)
+    assert "Proteus" in fig6.rows
+    assert "paper" in fig6.report()
+
+
+def test_fig6_qualitative_shape(fig6):
+    geo = {label: values[-1] for label, values in fig6.rows.items()}
+    assert geo["PMEM+nolog"] > 1.0
+    assert geo["Proteus"] > geo["ATOM"]
+    assert geo["PMEM+pcommit"] < 1.0
+    assert geo["Proteus"] <= geo["PMEM+nolog"] * 1.03
+
+
+def test_table4_rates_in_percent():
+    result = table4_llt_miss_rate(**TINY)
+    for value in result.rows["miss rate %"]:
+        assert 0.0 <= value <= 100.0
+
+
+def test_fig11_sweep_rows():
+    result = fig11_logq_sweep(sizes=(1, 8), **TINY)
+    assert set(result.rows) == {"LogQ=1", "LogQ=8"}
+    # Bigger LogQ should never be slower (geomean).
+    assert result.rows["LogQ=8"][-1] >= result.rows["LogQ=1"][-1] * 0.98
+
+
+def test_table3_shape():
+    result = table3_large_transactions(sizes=(64, 128), threads=1, scale=1.0,
+                                       nodes=4, transactions=2)
+    assert result.columns == ["64", "128"]
+    proteus = result.rows["Proteus"]
+    ideal = result.rows["PMEM+nolog(ideal)"]
+    for p, i in zip(proteus, ideal):
+        assert p > 1.0
+        assert p <= i * 1.05  # Proteus close to ideal
+
+
+def test_format_table_rendering():
+    text = format_table("T", ["a", "b"], {"row": [1.0, 2.5]})
+    assert "T" in text and "row" in text and "2.50" in text
+
+
+def test_format_table_handles_none():
+    text = format_table("T", ["a"], {"row": [None]})
+    assert "-" in text
+
+
+def test_format_comparison():
+    text = format_comparison("C", {"x": 1.0}, {"x": 1.1})
+    assert "paper" in text and "measured" in text
+
+
+def test_geomean_row():
+    rows = geomean_row({"r": [2.0, 8.0]})
+    assert rows["r"] == pytest.approx(4.0)

@@ -1,0 +1,65 @@
+"""Tiny-scale checks of the sensitivity-experiment drivers (Figures 9,
+10, 12) and the evaluation cache."""
+
+import pytest
+
+from repro.analysis import fig9_slow_nvm, fig10_dram, fig12_lpq_sweep, run_evaluation
+from repro.analysis.experiments import benchmark_traces, run_cached
+from repro.core.schemes import BASELINE, Scheme
+from repro.sim.config import fast_nvm_config
+
+TINY = dict(threads=1, scale=0.05)
+
+
+def test_fig9_and_fig10_shapes():
+    slow = fig9_slow_nvm(**TINY)
+    dram = fig10_dram(**TINY)
+    for result in (slow, dram):
+        geo = {label: values[-1] for label, values in result.rows.items()}
+        assert geo[str(Scheme.PROTEUS)] >= geo[str(Scheme.ATOM)] * 0.98
+        assert geo[str(Scheme.PMEM_NOLOG)] >= geo[str(Scheme.PROTEUS)] * 0.97
+    # Proteus's edge over ATOM should not shrink on slow NVM vs DRAM.
+    slow_edge = (
+        slow.rows[str(Scheme.PROTEUS)][-1] / slow.rows[str(Scheme.ATOM)][-1]
+    )
+    dram_edge = (
+        dram.rows[str(Scheme.PROTEUS)][-1] / dram.rows[str(Scheme.ATOM)][-1]
+    )
+    assert slow_edge > 0.9 * dram_edge
+
+
+def test_fig12_rows_cover_sizes():
+    result = fig12_lpq_sweep(sizes=(8, 64), **TINY)
+    assert set(result.rows) == {"LPQ=8", "LPQ=64"}
+    assert result.rows["LPQ=64"][-1] >= result.rows["LPQ=8"][-1] * 0.95
+
+
+def test_run_evaluation_always_includes_baseline():
+    config = fast_nvm_config(cores=1)
+    results = run_evaluation(
+        config, schemes=(Scheme.PROTEUS,), benchmarks=("QE",),
+        threads=1, scale=0.05,
+    )
+    assert ("QE", BASELINE) in results
+    assert ("QE", Scheme.PROTEUS) in results
+
+
+def test_result_cache_returns_same_object():
+    config = fast_nvm_config(cores=1)
+    first = run_cached("QE", Scheme.PROTEUS, config, threads=1, scale=0.05)
+    second = run_cached("QE", Scheme.PROTEUS, config, threads=1, scale=0.05)
+    assert first is second
+
+
+def test_trace_cache_keyed_by_scale():
+    small = benchmark_traces("QE", threads=1, scale=0.05)
+    large = benchmark_traces("QE", threads=1, scale=0.5)
+    assert small[0].transaction_count() < large[0].transaction_count()
+
+
+def test_different_configs_not_conflated():
+    base = fast_nvm_config(cores=1)
+    other = base.with_proteus(logq_entries=1)
+    first = run_cached("QE", Scheme.PROTEUS, base, threads=1, scale=0.05)
+    second = run_cached("QE", Scheme.PROTEUS, other, threads=1, scale=0.05)
+    assert first is not second

@@ -1,0 +1,96 @@
+"""Tests for the ATOM hardware-logging baseline."""
+
+import pytest
+
+from repro.core.schemes import Scheme
+from repro.isa.ops import Op, TxRecord
+from repro.isa.trace import OpTrace
+from repro.sim.config import fast_nvm_config
+from repro.sim.simulator import Simulator
+
+
+def make_trace(txs):
+    trace = OpTrace(thread_id=0)
+    for tx in txs:
+        trace.append(tx)
+    return trace
+
+
+def simple_tx(txid, addrs, value=1):
+    tx = TxRecord(txid=txid)
+    for addr in addrs:
+        tx.body.append(Op.write(addr, value))
+    tx.log_candidates = [(addr, 64) for addr in addrs]
+    return tx
+
+
+def run_atom(trace, **atom_overrides):
+    import dataclasses
+
+    config = fast_nvm_config(cores=1)
+    if atom_overrides:
+        config = dataclasses.replace(
+            config, atom=dataclasses.replace(config.atom, **atom_overrides)
+        )
+    sim = Simulator(config, Scheme.ATOM, [trace])
+    result = sim.run()
+    return sim, result
+
+
+def test_one_log_entry_per_line_per_tx():
+    # Four stores to two lines: ATOM dedups to two log entries.
+    tx = simple_tx(1, [0x1000, 0x1008, 0x1040, 0x1048])
+    sim, result = run_atom(make_trace([tx]))
+    assert result.stats.get("atom.log_entries") == 2
+
+
+def test_log_written_to_nvm_and_truncated():
+    tx = simple_tx(1, [0x1000, 0x1040])
+    sim, result = run_atom(make_trace([tx]))
+    stats = result.stats
+    assert stats.get("nvm.write.log") == 2
+    assert stats.get("nvm.write.log-truncate") == 2
+    assert stats.get("atom.truncation_writes") == 2
+    assert stats.get("atom.truncation_scans") == 0
+
+
+def test_untracked_entries_need_scan():
+    addrs = [0x1000 + 64 * i for i in range(6)]
+    tx = simple_tx(1, addrs)
+    sim, result = run_atom(make_trace([tx]), tracker_entries=4)
+    stats = result.stats
+    assert stats.get("atom.truncation_writes") == 4
+    assert stats.get("atom.truncation_scans") == 2
+    # Scans read the log area before invalidating.
+    assert stats.get("nvm.reads") >= 2
+
+
+def test_dedup_reset_between_transactions():
+    txs = [simple_tx(1, [0x1000]), simple_tx(2, [0x1000])]
+    sim, result = run_atom(make_trace(txs))
+    assert result.stats.get("atom.log_entries") == 2
+
+
+def test_write_amplification_roughly_3x():
+    txs = [simple_tx(i, [0x1000 + 64 * i]) for i in range(1, 9)]
+    sim, result = run_atom(make_trace(txs))
+    breakdown = result.stats.nvm_write_breakdown()
+    data = breakdown.get("data", 0)
+    log = breakdown.get("log", 0) + breakdown.get("log-truncate", 0)
+    assert data == 8
+    assert log == 16  # creation + truncation per entry
+
+
+def test_adapter_quiesces():
+    txs = [simple_tx(i, [0x1000 + 64 * i]) for i in range(1, 4)]
+    sim, result = run_atom(make_trace(txs))
+    assert sim.cores[0].adapter.quiesced()
+    assert result.stats.get("tx.committed") == 3
+
+
+def test_stores_outside_tx_not_logged():
+    trace = OpTrace(thread_id=0)
+    trace.append(Op.write(0x5000, 7))  # bare non-transactional write
+    trace.append(simple_tx(1, [0x1000]))
+    sim, result = run_atom(trace)
+    assert result.stats.get("atom.log_entries") == 1

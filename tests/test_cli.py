@@ -1,0 +1,62 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_run_subcommand(capsys):
+    code = main(["run", "--benchmark", "QE", "--scheme", "Proteus",
+                 "--ops", "5", "--init", "32"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "cycles" in out
+    assert "LLT miss rate" in out
+
+
+def test_run_verbose(capsys):
+    code = main(["run", "--benchmark", "QE", "--scheme", "PMEM",
+                 "--ops", "3", "--init", "32", "--verbose"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "nvm.write" in out
+
+
+def test_compare_subcommand(capsys):
+    code = main(["compare", "--benchmark", "QE", "--ops", "5", "--init", "32"])
+    assert code == 0
+    out = capsys.readouterr().out
+    for label in ("PMEM", "ATOM", "Proteus", "PMEM+nolog"):
+        assert label in out
+
+
+def test_compare_on_dram(capsys):
+    code = main(["compare", "--benchmark", "QE", "--ops", "3", "--init", "32",
+                 "--memory", "dram"])
+    assert code == 0
+    assert "dram" in capsys.readouterr().out
+
+
+def test_experiment_subcommand(capsys):
+    code = main(["experiment", "table4", "--threads", "1", "--scale", "0.05"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "LLT miss rate" in out
+    assert "paper" in out
+
+
+def test_crash_subcommand(capsys):
+    code = main(["crash", "--benchmark", "QE", "--ops", "6", "--init", "24",
+                 "--crashes", "20", "--scheme", "Proteus"])
+    assert code == 0
+    assert "transaction boundary" in capsys.readouterr().out
+
+
+def test_unknown_scheme_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "--scheme", "NotAScheme"])
+
+
+def test_missing_subcommand_rejected():
+    with pytest.raises(SystemExit):
+        main([])

@@ -1,0 +1,86 @@
+"""Unit tests for the system configuration."""
+
+import pytest
+
+from repro.sim.config import (
+    AtomConfig,
+    CacheConfig,
+    CoreConfig,
+    MemoryConfig,
+    ProteusConfig,
+    SystemConfig,
+    dram_config,
+    fast_nvm_config,
+    ns_to_cycles,
+    slow_nvm_config,
+)
+
+
+def test_ns_to_cycles_at_3_4_ghz():
+    assert ns_to_cycles(50) == 170
+    assert ns_to_cycles(150) == 510
+    assert ns_to_cycles(300) == 1020
+    assert ns_to_cycles(0.01) == 1  # never below one cycle
+
+
+def test_table1_core_defaults():
+    core = CoreConfig()
+    assert core.fetch_width == 5
+    assert core.retire_width == 5
+    assert core.rob_entries == 224
+    assert core.load_queue_entries == 72
+    assert core.store_queue_entries == 56
+
+
+def test_table1_cache_geometry():
+    config = SystemConfig()
+    assert config.l1.size_bytes == 32 * 1024 and config.l1.ways == 8
+    assert config.l2.size_bytes == 256 * 1024
+    assert config.l3.size_bytes == 8 * 1024 * 1024 and config.l3.ways == 16
+    assert config.l1.latency == 4
+    assert config.l2.latency == 12
+    assert config.l3.latency == 42
+
+
+def test_table1_proteus_defaults():
+    proteus = ProteusConfig()
+    assert proteus.log_registers == 8
+    assert proteus.logq_entries == 16
+    assert proteus.llt_entries == 64 and proteus.llt_ways == 8
+    assert proteus.lpq_entries == 256
+    assert proteus.log_write_removal
+
+
+def test_memory_presets():
+    fast = fast_nvm_config().memory
+    slow = slow_nvm_config().memory
+    dram = dram_config().memory
+    assert fast.read_latency == slow.read_latency == dram.read_latency
+    assert slow.write_latency == 2 * fast.write_latency
+    assert dram.write_latency == dram.read_latency
+    assert fast.adr  # the WPQ is the persistency domain
+
+
+def test_replace_returns_new_object():
+    config = fast_nvm_config()
+    other = config.replace(cores=2)
+    assert other.cores == 2
+    assert config.cores == 4
+    assert other.memory is config.memory  # shared, unmodified
+
+
+def test_cache_sets_validation():
+    with pytest.raises(ValueError):
+        CacheConfig(64, 2, 1).sets
+
+
+def test_describe_mentions_all_subsystems():
+    text = fast_nvm_config().describe()
+    assert set(text) == {"cores", "caches", "memory", "proteus"}
+    assert "LogQ 16" in text["proteus"]
+
+
+def test_atom_config_defaults():
+    atom = AtomConfig()
+    assert atom.tracker_entries > 0
+    assert atom.source_log_latency > 0

@@ -1,0 +1,96 @@
+"""Edge-case tests for the crash layer's error handling and boundaries."""
+
+import pytest
+
+from repro.core.schemes import Scheme
+from repro.isa.ops import Op, TxRecord
+from repro.isa.trace import OpTrace
+from repro.persistence.crash import CrashPoint, Phase, crash_image
+from repro.persistence.model import build_functional_txs, image_after, images_equal
+from repro.persistence.recovery import recover
+
+
+def simple_trace(num_txs=3):
+    trace = OpTrace(thread_id=0)
+    trace.initial_image = {0x1000: 1}
+    for txid in range(1, num_txs + 1):
+        tx = TxRecord(txid=txid)
+        tx.body = [Op.write(0x1000, 100 + txid)]
+        tx.log_candidates = [(0x1000, 64)]
+        trace.append(tx)
+    return trace
+
+
+def test_tx_index_bounds():
+    initial, txs = build_functional_txs(simple_trace(), Scheme.PROTEUS)
+    with pytest.raises(ValueError):
+        crash_image(initial, txs, Scheme.PROTEUS, CrashPoint(-1, Phase.BEFORE))
+    with pytest.raises(ValueError):
+        crash_image(initial, txs, Scheme.PROTEUS, CrashPoint(3, Phase.BEFORE))
+
+
+def test_software_phases_rejected_for_hardware():
+    initial, txs = build_functional_txs(simple_trace(), Scheme.PROTEUS)
+    for phase in (Phase.LOGGING, Phase.FLAGGED):
+        with pytest.raises(ValueError):
+            crash_image(initial, txs, Scheme.PROTEUS, CrashPoint(0, phase))
+
+
+def test_out_of_range_subset_indices_ignored():
+    initial, txs = build_functional_txs(simple_trace(), Scheme.PROTEUS)
+    crash = CrashPoint(
+        1, Phase.IN_FLIGHT,
+        log_durable=frozenset({0, 99}),   # 99 does not exist
+        data_durable=frozenset({0, 42}),  # 42 does not exist
+    )
+    image = crash_image(initial, txs, Scheme.PROTEUS, crash)
+    recovered = recover(image)
+    assert images_equal(recovered, image_after(initial, txs, 1))
+
+
+def test_crash_at_first_transaction():
+    initial, txs = build_functional_txs(simple_trace(), Scheme.PMEM)
+    image = crash_image(initial, txs, Scheme.PMEM, CrashPoint(0, Phase.FLUSHED))
+    recovered = recover(image)
+    assert recovered[0x1000] == 1  # rolled back to the initial value
+
+
+def test_crash_at_last_transaction_committed():
+    initial, txs = build_functional_txs(simple_trace(3), Scheme.ATOM)
+    image = crash_image(initial, txs, Scheme.ATOM, CrashPoint(2, Phase.COMMITTED))
+    recovered = recover(image)
+    assert recovered[0x1000] == 103
+
+
+def test_read_only_transaction_crashes_cleanly():
+    trace = OpTrace(thread_id=0)
+    trace.initial_image = {0x1000: 7}
+    tx = TxRecord(txid=1)
+    tx.body = [Op.read(0x1000), Op.compute(3)]
+    trace.append(tx)
+    initial, txs = build_functional_txs(trace, Scheme.PROTEUS)
+    assert txs[0].log_entries == []
+    for phase in (Phase.IN_FLIGHT, Phase.FLUSHED, Phase.COMMITTED):
+        image = crash_image(initial, txs, Scheme.PROTEUS, CrashPoint(0, phase))
+        recovered = recover(image)
+        assert recovered[0x1000] == 7
+
+
+def test_stale_log_entries_of_older_tx_ignored():
+    """Recovery only undoes the in-flight txid; a crash image holding a
+    (stale, committed) older transaction's entries must not apply them."""
+    initial, txs = build_functional_txs(simple_trace(3), Scheme.PROTEUS)
+    image = crash_image(initial, txs, Scheme.PROTEUS, CrashPoint(2, Phase.FLUSHED))
+    # Contaminate the crash image with tx 1's (stale) entries.
+    image.log_entries = txs[0].log_entries + image.log_entries
+    recovered = recover(image)
+    assert images_equal(recovered, image_after(initial, txs, 2))
+
+
+def test_empty_log_durable_set_means_nothing_logged():
+    initial, txs = build_functional_txs(simple_trace(), Scheme.ATOM)
+    crash = CrashPoint(1, Phase.IN_FLIGHT, log_durable=frozenset())
+    image = crash_image(initial, txs, Scheme.ATOM, crash)
+    assert image.log_entries == []
+    recovered = recover(image)
+    assert images_equal(recovered, image_after(initial, txs, 1))

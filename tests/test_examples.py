@@ -1,0 +1,48 @@
+"""Smoke tests: every example script must run end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name, *args):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+
+
+def test_quickstart():
+    proc = run_example("quickstart.py", "--ops", "8", "--init", "200",
+                       "--threads", "1")
+    assert proc.returncode == 0, proc.stderr
+    assert "Proteus speedup" in proc.stdout or "Proteus is" in proc.stdout
+
+
+def test_crash_recovery():
+    proc = run_example("crash_recovery.py", "--crashes", "30",
+                       "--transactions", "10")
+    assert proc.returncode == 0, proc.stderr
+    assert "atomicity held" in proc.stdout
+    assert "unsafe without a log" in proc.stdout
+
+
+def test_design_space():
+    proc = run_example("design_space.py", "--ops", "6", "--threads", "1",
+                       "--benchmark", "QE")
+    assert proc.returncode == 0, proc.stderr
+    assert "LogQ size sweep" in proc.stdout
+    assert "Memory technology sensitivity" in proc.stdout
+
+
+def test_wear_endurance():
+    proc = run_example("wear_endurance.py", "--ops", "8", "--threads", "1")
+    assert proc.returncode == 0, proc.stderr
+    assert "lifetime" in proc.stdout
+    assert "flash-cleared" in proc.stdout

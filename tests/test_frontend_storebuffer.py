@@ -1,0 +1,90 @@
+"""Unit tests for the pipeline front end and the store buffer."""
+
+import pytest
+
+from repro.cpu.frontend import Frontend
+from repro.cpu.store_buffer import StoreBuffer
+from repro.cpu.ooo_core import DynInstr
+from repro.isa.instructions import alu, store
+from repro.isa.trace import InstructionTrace
+from repro.sim.stats import Stats
+
+
+def make_frontend(n=3):
+    trace = InstructionTrace()
+    for _ in range(n):
+        trace.append(alu())
+    stats = Stats()
+    return Frontend(trace, stats), stats
+
+
+def test_frontend_sequential_consume():
+    frontend, _ = make_frontend(3)
+    assert not frontend.exhausted()
+    seen = []
+    while not frontend.exhausted():
+        assert frontend.peek() is not None
+        seen.append(frontend.consume())
+    assert len(seen) == 3
+    assert frontend.peek() is None
+
+
+def test_stall_recorded_once_per_cycle_first_cause_wins():
+    frontend, stats = make_frontend(3)
+    frontend.note_stall("rob")
+    frontend.note_stall("sq")  # ignored: first cause wins
+    frontend.end_cycle(dispatched=0)
+    assert stats.get("stall.rob") == 1
+    assert stats.get("stall.sq") == 0
+
+
+def test_no_stall_when_something_dispatched():
+    frontend, stats = make_frontend(3)
+    frontend.note_stall("rob")
+    frontend.end_cycle(dispatched=2)
+    assert stats.frontend_stalls() == 0
+
+
+def test_no_stall_when_trace_exhausted():
+    frontend, stats = make_frontend(1)
+    frontend.consume()
+    frontend.end_cycle(dispatched=0)
+    assert stats.frontend_stalls() == 0
+
+
+def test_unattributed_stall_counted_as_other():
+    frontend, stats = make_frontend(2)
+    frontend.end_cycle(dispatched=0)
+    assert stats.get("stall.other") == 1
+
+
+def _dyn(seq):
+    return DynInstr(store(0x1000 + 64 * seq, value=seq), seq)
+
+
+def test_store_buffer_fifo():
+    buffer = StoreBuffer()
+    a, b = _dyn(0), _dyn(1)
+    buffer.push(a)
+    buffer.push(b)
+    assert buffer.head() is a
+    assert buffer.pop_head() is a
+    assert buffer.head() is b
+
+
+def test_store_buffer_in_flight_accounting():
+    buffer = StoreBuffer()
+    buffer.push(_dyn(0))
+    buffer.pop_head()
+    assert not buffer.is_empty()      # still in flight
+    assert buffer.in_flight() == 1
+    buffer.finished()
+    assert buffer.is_empty()
+
+
+def test_store_buffer_occupancy():
+    buffer = StoreBuffer()
+    assert buffer.head() is None
+    for seq in range(3):
+        buffer.push(_dyn(seq))
+    assert buffer.occupancy() == 3

@@ -1,0 +1,78 @@
+"""Unit tests for the persistent heap and thread address spaces."""
+
+import pytest
+
+from repro.workloads.heap import (
+    ALIGNMENT,
+    PersistentHeap,
+    THREAD_SPAN,
+    ThreadAddressSpace,
+)
+
+
+def test_thread_spaces_are_disjoint():
+    spaces = [ThreadAddressSpace(i) for i in range(4)]
+    for a in spaces:
+        for b in spaces:
+            if a is not b:
+                assert not a.owns(b.heap_base)
+                assert not a.owns(b.sw_log_base)
+                assert not a.owns(b.logflag_addr)
+
+
+def test_regions_within_slice():
+    space = ThreadAddressSpace(2)
+    for addr in (space.heap_base, space.sw_log_base, space.hw_log_base, space.logflag_addr):
+        assert space.owns(addr)
+
+
+def test_alloc_alignment():
+    heap = PersistentHeap(ThreadAddressSpace(0))
+    for size in (1, 8, 63, 64, 65, 200):
+        addr = heap.alloc(size)
+        assert addr % ALIGNMENT == 0
+
+
+def test_alloc_distinct_addresses():
+    heap = PersistentHeap(ThreadAddressSpace(0))
+    addrs = {heap.alloc(64) for _ in range(100)}
+    assert len(addrs) == 100
+
+
+def test_free_list_reuse():
+    heap = PersistentHeap(ThreadAddressSpace(0))
+    addr = heap.alloc(64)
+    heap.free(addr, 64)
+    assert heap.alloc(64) == addr
+
+
+def test_size_classes_do_not_mix():
+    heap = PersistentHeap(ThreadAddressSpace(0))
+    small = heap.alloc(64)
+    heap.free(small, 64)
+    big = heap.alloc(128)
+    assert big != small
+
+
+def test_live_object_accounting():
+    heap = PersistentHeap(ThreadAddressSpace(0))
+    a = heap.alloc(64)
+    b = heap.alloc(64)
+    assert heap.live_objects == 2
+    heap.free(a, 64)
+    assert heap.live_objects == 1
+    assert heap.high_water() == 128
+
+
+def test_invalid_size_rejected():
+    heap = PersistentHeap(ThreadAddressSpace(0))
+    with pytest.raises(ValueError):
+        heap.alloc(0)
+
+
+def test_layout_export():
+    space = ThreadAddressSpace(1)
+    layout = space.layout()
+    assert layout.sw_log_base == space.sw_log_base
+    assert layout.logflag_addr == space.logflag_addr
+    layout.validate()

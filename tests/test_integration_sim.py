@@ -1,0 +1,140 @@
+"""Integration tests: whole-stack simulations and cross-scheme invariants.
+
+These run every scheme on the same small workload traces and check the
+relationships the paper's results rest on: ordering of schemes, write
+amplification, logging accounting, and determinism.
+"""
+
+import pytest
+
+from repro.core.schemes import Scheme
+from repro.sim.config import dram_config, fast_nvm_config, slow_nvm_config
+from repro.sim.simulator import Simulator, run_trace
+from repro.workloads import (
+    AvlTreeWorkload,
+    HashMapWorkload,
+    QueueWorkload,
+    StringSwapWorkload,
+)
+from repro.workloads.base import generate_traces
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return generate_traces(QueueWorkload, threads=1, seed=31, init_ops=128, sim_ops=25)
+
+
+@pytest.fixture(scope="module")
+def results(traces):
+    config = fast_nvm_config(cores=1)
+    return {
+        scheme: run_trace(traces, scheme, config) for scheme in Scheme
+    }
+
+
+def test_all_schemes_complete(results):
+    for scheme, result in results.items():
+        assert result.cycles > 0
+        assert result.stats.instructions() > 0
+
+
+def test_scheme_ordering(results):
+    """nolog fastest, then Proteus, NoLWR, ATOM, PMEM, pcommit slowest."""
+    cycles = {scheme: result.cycles for scheme, result in results.items()}
+    assert cycles[Scheme.PMEM_NOLOG] <= cycles[Scheme.PROTEUS] * 1.02
+    assert cycles[Scheme.PROTEUS] <= cycles[Scheme.PROTEUS_NOLWR]
+    assert cycles[Scheme.PROTEUS_NOLWR] <= cycles[Scheme.ATOM] * 1.05
+    assert cycles[Scheme.ATOM] < cycles[Scheme.PMEM]
+    assert cycles[Scheme.PMEM] < cycles[Scheme.PMEM_PCOMMIT]
+
+
+def test_write_amplification_ordering(results):
+    writes = {scheme: result.nvm_writes for scheme, result in results.items()}
+    assert writes[Scheme.PROTEUS] <= writes[Scheme.PMEM_NOLOG] * 1.1
+    assert writes[Scheme.ATOM] >= 2.5 * writes[Scheme.PMEM_NOLOG]
+    assert writes[Scheme.PMEM] > writes[Scheme.PMEM_NOLOG]
+    assert writes[Scheme.PROTEUS_NOLWR] > writes[Scheme.PROTEUS]
+
+
+def test_pcommit_same_writes_as_pmem(results):
+    assert results[Scheme.PMEM_PCOMMIT].nvm_writes == results[Scheme.PMEM].nvm_writes
+
+
+def test_instruction_counts(results):
+    """Proteus adds exactly two instructions per logged store; ATOM adds
+    none beyond the tx marks."""
+    nolog = results[Scheme.PMEM_NOLOG].stats.instructions()
+    atom = results[Scheme.ATOM].stats.instructions()
+    proteus = results[Scheme.PROTEUS].stats.instructions()
+    pmem = results[Scheme.PMEM].stats.instructions()
+    tx_count = results[Scheme.ATOM].stats.get("tx.committed")
+    assert atom == nolog + 2 * tx_count - tx_count  # +tx marks, -sfence
+    assert proteus > atom
+    assert pmem > proteus
+
+
+def test_determinism(traces):
+    config = fast_nvm_config(cores=1)
+    first = run_trace(traces, Scheme.PROTEUS, config)
+    second = run_trace(traces, Scheme.PROTEUS, config)
+    assert first.cycles == second.cycles
+    assert first.stats.snapshot() == second.stats.snapshot()
+
+
+def test_all_transactions_commit(results, traces):
+    expected = traces[0].transaction_count()
+    for scheme in (Scheme.ATOM, Scheme.PROTEUS, Scheme.PROTEUS_NOLWR):
+        assert results[scheme].stats.get("tx.committed") == expected
+
+
+def test_multicore_runs_and_shares_memory():
+    traces = generate_traces(QueueWorkload, threads=2, seed=31, init_ops=64, sim_ops=10)
+    config = fast_nvm_config(cores=2)
+    result = run_trace(traces, Scheme.PROTEUS, config)
+    assert result.stats.get("tx.committed") == 20
+    # Two cores should take less than twice the cycles of either alone.
+    solo = run_trace(traces[:1], Scheme.PROTEUS, fast_nvm_config(cores=1))
+    assert result.cycles < 2 * solo.cycles
+
+
+def test_slow_nvm_is_slower():
+    traces = generate_traces(QueueWorkload, threads=1, seed=31, init_ops=64, sim_ops=15)
+    fast = run_trace(traces, Scheme.PMEM, fast_nvm_config(cores=1))
+    slow = run_trace(traces, Scheme.PMEM, slow_nvm_config(cores=1))
+    dram = run_trace(traces, Scheme.PMEM, dram_config(cores=1))
+    assert slow.cycles > fast.cycles
+    assert dram.cycles <= fast.cycles
+
+
+@pytest.mark.parametrize("workload_cls", [HashMapWorkload, StringSwapWorkload, AvlTreeWorkload])
+def test_other_workloads_run_under_proteus(workload_cls):
+    traces = generate_traces(workload_cls, threads=1, seed=31, init_ops=100, sim_ops=8)
+    result = run_trace(traces, Scheme.PROTEUS, fast_nvm_config(cores=1))
+    assert result.stats.get("tx.committed") == 8
+    assert result.stats.get("nvm.write.log") == 0  # LWR held all logs
+
+
+def test_trace_mismatch_rejected():
+    traces = generate_traces(QueueWorkload, threads=2, seed=31, init_ops=64, sim_ops=5)
+    with pytest.raises(ValueError):
+        Simulator(fast_nvm_config(cores=1), Scheme.PMEM, traces)
+
+
+def test_log_before_store_ordering_observed():
+    """Instrument the MC: a Proteus data line never becomes durable while
+    the log entry for its 32 B block is still in flight in the LogQ."""
+    traces = generate_traces(QueueWorkload, threads=1, seed=31, init_ops=64, sim_ops=10)
+    config = fast_nvm_config(cores=1)
+    sim = Simulator(config, Scheme.PROTEUS, traces)
+    adapter = sim.cores[0].adapter
+    original_access = sim.hierarchy.access
+    violations = []
+
+    def spy(core_id, addr, is_write, on_complete):
+        if is_write and adapter.logq.blocks_store(addr, store_seq=1 << 60):
+            violations.append(addr)
+        return original_access(core_id, addr, is_write, on_complete)
+
+    sim.hierarchy.access = spy
+    sim.run()
+    assert violations == []

@@ -1,0 +1,74 @@
+"""Unit tests for the Log Lookup Table."""
+
+import pytest
+
+from repro.core.llt import LogLookupTable
+from repro.isa.instructions import LOG_GRAIN
+from repro.sim.stats import Stats
+
+
+def test_geometry_validation():
+    with pytest.raises(ValueError):
+        LogLookupTable(entries=10, ways=4)
+
+
+def test_miss_then_hit_same_block():
+    llt = LogLookupTable(entries=8, ways=2)
+    assert not llt.lookup_insert(0x100)   # miss, inserted
+    assert llt.lookup_insert(0x100)        # hit
+    assert llt.lookup_insert(0x108)        # same 32 B block: hit
+    assert not llt.lookup_insert(0x120)    # next block: miss
+
+
+def test_stats_counting():
+    stats = Stats()
+    llt = LogLookupTable(entries=8, ways=2, stats=stats)
+    llt.lookup_insert(0x100)
+    llt.lookup_insert(0x100)
+    llt.lookup_insert(0x200)
+    assert stats.get("llt.hits") == 1
+    assert stats.get("llt.misses") == 2
+
+
+def test_clear_empties_table():
+    llt = LogLookupTable(entries=8, ways=2)
+    llt.lookup_insert(0x100)
+    assert llt.probe(0x100)
+    llt.clear()
+    assert not llt.probe(0x100)
+    assert llt.occupancy() == 0
+    assert not llt.lookup_insert(0x100)  # miss again after clear
+
+
+def test_lru_eviction_within_set():
+    # 2 sets x 2 ways; blocks stride LOG_GRAIN * num_sets to share a set.
+    llt = LogLookupTable(entries=4, ways=2)
+    set_stride = LOG_GRAIN * llt.num_sets
+    a, b, c = 0x0, set_stride, 2 * set_stride
+    llt.lookup_insert(a)
+    llt.lookup_insert(b)
+    llt.lookup_insert(a)  # refresh a; b becomes LRU
+    llt.lookup_insert(c)  # evicts b
+    assert llt.probe(a)
+    assert not llt.probe(b)
+    assert llt.probe(c)
+
+
+def test_eviction_only_causes_redundant_logging():
+    """An evicted block simply misses again — never a false hit."""
+    llt = LogLookupTable(entries=4, ways=2)
+    set_stride = LOG_GRAIN * llt.num_sets
+    blocks = [i * set_stride for i in range(5)]
+    for block in blocks:
+        llt.lookup_insert(block)
+    # The oldest entries were evicted; re-probing them misses (re-log).
+    assert not llt.lookup_insert(blocks[0])
+
+
+def test_occupancy_and_storage():
+    llt = LogLookupTable(entries=64, ways=8)
+    for i in range(10):
+        llt.lookup_insert(i * LOG_GRAIN)
+    assert llt.occupancy() == 10
+    # Paper: ~410 bytes for the 64-entry LLT.
+    assert llt.storage_bits() / 8 < 500

@@ -1,0 +1,65 @@
+"""Unit tests for per-thread circular log areas."""
+
+import pytest
+
+from repro.core.log_area import LOG_ENTRY_BYTES, LogArea, LogAreaOverflow
+
+
+def test_geometry_validation():
+    with pytest.raises(ValueError):
+        LogArea(0, 32)  # smaller than one entry
+    with pytest.raises(ValueError):
+        LogArea(0, 100)  # not entry aligned
+    with pytest.raises(ValueError):
+        LogArea(8, 128)  # misaligned base
+
+
+def test_slots_advance_by_entry_size():
+    area = LogArea(0x1000, 4 * LOG_ENTRY_BYTES)
+    assert area.next_slot() == 0x1000
+    assert area.next_slot() == 0x1040
+    assert area.next_slot() == 0x1080
+
+
+def test_wraps_circularly():
+    area = LogArea(0x1000, 2 * LOG_ENTRY_BYTES)
+    assert area.next_slot() == 0x1000
+    assert area.next_slot() == 0x1040
+    assert area.next_slot() == 0x1000  # wrapped
+
+
+def test_overflow_raised_when_single_tx_wraps():
+    area = LogArea(0x1000, 2 * LOG_ENTRY_BYTES)
+    area.begin_transaction()
+    area.next_slot()
+    area.next_slot()
+    with pytest.raises(LogAreaOverflow):
+        area.next_slot()
+
+
+def test_no_overflow_across_transactions():
+    area = LogArea(0x1000, 2 * LOG_ENTRY_BYTES)
+    for _ in range(5):
+        area.begin_transaction()
+        area.next_slot()
+        area.next_slot()
+        area.end_transaction()
+
+
+def test_contains():
+    area = LogArea(0x1000, 128)
+    assert area.contains(0x1000)
+    assert area.contains(0x107F)
+    assert not area.contains(0x1080)
+    assert not area.contains(0xFFF)
+
+
+def test_entries_used_tracking():
+    area = LogArea(0x1000, 256)
+    area.begin_transaction()
+    assert area.entries_used_by_current_tx() == 0
+    area.next_slot()
+    area.next_slot()
+    assert area.entries_used_by_current_tx() == 2
+    area.end_transaction()
+    assert area.entries_used_by_current_tx() == 0

@@ -1,0 +1,52 @@
+"""Unit tests for the LR file."""
+
+import pytest
+
+from repro.core.log_registers import LogRegisterFile
+
+
+def test_allocation_until_exhausted():
+    lrs = LogRegisterFile(count=2)
+    a = lrs.allocate(owner_seq=10)
+    b = lrs.allocate(owner_seq=11)
+    assert a is not None and b is not None and a != b
+    assert lrs.allocate(owner_seq=12) is None
+    assert lrs.available() == 0
+
+
+def test_release_recycles():
+    lrs = LogRegisterFile(count=1)
+    register = lrs.allocate(owner_seq=1)
+    assert lrs.allocate(owner_seq=2) is None
+    lrs.release(register)
+    assert lrs.allocate(owner_seq=2) is not None
+
+
+def test_owner_tracking():
+    lrs = LogRegisterFile(count=4)
+    register = lrs.allocate(owner_seq=42)
+    assert lrs.owner_of(register) == 42
+    lrs.release(register)
+    assert lrs.owner_of(register) is None
+
+
+def test_double_release_rejected():
+    lrs = LogRegisterFile(count=2)
+    register = lrs.allocate(owner_seq=1)
+    lrs.release(register)
+    with pytest.raises(ValueError):
+        lrs.release(register)
+
+
+def test_release_all_context_switch():
+    lrs = LogRegisterFile(count=4)
+    for seq in range(4):
+        lrs.allocate(owner_seq=seq)
+    assert lrs.available() == 0
+    lrs.release_all()
+    assert lrs.available() == 4
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        LogRegisterFile(count=0)

@@ -1,0 +1,107 @@
+"""Unit tests for the LogQ."""
+
+import pytest
+
+from repro.core.logq import LogQueue
+from repro.sim.stats import Stats
+
+
+def test_allocate_until_full_then_stall():
+    logq = LogQueue(entries=2)
+    a = logq.allocate(seq=1, log_from=0x100, txid=1)
+    b = logq.allocate(seq=2, log_from=0x120, txid=1)
+    assert a is not None and b is not None
+    assert logq.allocate(seq=3, log_from=0x140, txid=1) is None
+    assert not logq.has_space()
+
+
+def test_complete_frees_entry():
+    logq = LogQueue(entries=1)
+    entry = logq.allocate(seq=1, log_from=0x100, txid=1)
+    logq.resolve(entry, 0x9000)
+    logq.complete(entry)
+    assert logq.has_space()
+    assert logq.is_empty()
+
+
+def test_program_order_resolution():
+    logq = LogQueue(entries=4)
+    first = logq.allocate(seq=1, log_from=0x100, txid=1)
+    second = logq.allocate(seq=2, log_from=0x120, txid=1)
+    assert logq.can_resolve(first)
+    assert not logq.can_resolve(second)   # older unresolved
+    logq.resolve(first, 0x9000)
+    assert logq.can_resolve(second)
+    logq.resolve(second, 0x9040)
+
+
+def test_out_of_order_resolution_rejected():
+    logq = LogQueue(entries=4)
+    logq.allocate(seq=1, log_from=0x100, txid=1)
+    second = logq.allocate(seq=2, log_from=0x120, txid=1)
+    with pytest.raises(RuntimeError):
+        logq.resolve(second, 0x9000)
+
+
+def test_out_of_order_completion_allowed():
+    """Flushes may complete out of order once addresses are resolved."""
+    logq = LogQueue(entries=4)
+    first = logq.allocate(seq=1, log_from=0x100, txid=1)
+    second = logq.allocate(seq=2, log_from=0x120, txid=1)
+    logq.resolve(first, 0x9000)
+    logq.resolve(second, 0x9040)
+    logq.complete(second)   # younger completes first
+    assert not logq.is_empty()
+    logq.complete(first)
+    assert logq.is_empty()
+
+
+def test_blocks_store_to_same_block():
+    logq = LogQueue(entries=4)
+    entry = logq.allocate(seq=1, log_from=0x100, txid=1)
+    # A younger store to the same 32 B block is held.
+    assert logq.blocks_store(0x108, store_seq=5)
+    # A store to a different block is free.
+    assert not logq.blocks_store(0x120, store_seq=5)
+    # An *older* store (should not happen, but must not deadlock) is free.
+    assert not logq.blocks_store(0x108, store_seq=0)
+    logq.resolve(entry, 0x9000)
+    logq.complete(entry)
+    assert not logq.blocks_store(0x108, store_seq=5)
+
+
+def test_blocks_store_with_multiple_pending_same_block():
+    logq = LogQueue(entries=4)
+    first = logq.allocate(seq=1, log_from=0x100, txid=1)
+    second = logq.allocate(seq=2, log_from=0x100, txid=1)
+    logq.resolve(first, 0x9000)
+    logq.complete(first)
+    # The second flush to the block is still pending.
+    assert logq.blocks_store(0x100, store_seq=9)
+    logq.resolve(second, 0x9040)
+    logq.complete(second)
+    assert not logq.blocks_store(0x100, store_seq=9)
+
+
+def test_cancel_is_complete():
+    logq = LogQueue(entries=2)
+    entry = logq.allocate(seq=1, log_from=0x100, txid=1)
+    logq.cancel(entry)  # LLT-filtered flush
+    assert logq.is_empty()
+    assert not logq.blocks_store(0x100, store_seq=5)
+
+
+def test_alloc_stall_counted():
+    stats = Stats()
+    logq = LogQueue(entries=1, stats=stats)
+    logq.allocate(seq=1, log_from=0x100, txid=1)
+    logq.allocate(seq=2, log_from=0x120, txid=1)
+    assert stats.get("logq.alloc_stalls") == 1
+
+
+def test_occupancy_and_snapshot():
+    logq = LogQueue(entries=4)
+    logq.allocate(seq=1, log_from=0x100, txid=1)
+    logq.allocate(seq=2, log_from=0x120, txid=1)
+    assert logq.occupancy() == 2
+    assert len(logq.pending_entries()) == 2

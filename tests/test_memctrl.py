@@ -1,0 +1,157 @@
+"""Unit tests for the memory controller (WPQ/LPQ paths, forwarding,
+drain policy, pcommit semantics)."""
+
+import pytest
+
+from repro.mem.memctrl import MemoryController
+from repro.sim.config import MemoryConfig
+from repro.sim.engine import Engine
+from repro.sim.stats import Stats
+
+
+def make_mc(**kwargs):
+    engine = Engine()
+    stats = Stats()
+    defaults = dict(
+        read_latency=100, write_latency=300, row_hit_latency=10,
+        banks=2, wpq_entries=4, controller_latency=20,
+    )
+    defaults.update(kwargs)
+    mc = MemoryController(engine, MemoryConfig(**defaults), stats)
+    return engine, stats, mc
+
+
+def test_write_is_durable_at_wpq_admission():
+    engine, stats, mc = make_mc()
+    acked = []
+    mc.write(0x100, on_durable=lambda: acked.append(engine.cycle))
+    engine.fire_due_events()
+    engine.advance_to_next_event()
+    engine.fire_due_events()
+    assert acked and acked[0] == 20  # controller trip only, not NVM write
+    engine.run_until_idle()
+    assert stats.get("nvm.write.data") == 1
+
+
+def test_read_forwarded_from_wpq():
+    # One bank and a burst of writes: the last write lingers in the WPQ
+    # behind the device backlog, so a read to it is forwarded.
+    engine, stats, mc = make_mc(banks=1, wpq_entries=8)
+    for i in range(6):
+        mc.write(0x1000 + 64 * i)
+    done = []
+    engine.schedule(25, lambda: mc.read(0x1000 + 64 * 5, lambda: done.append(engine.cycle)))
+    engine.run_until_idle()
+    assert stats.get("mc.read_forwarded_from_wpq") == 1
+    assert done and done[0] == 45  # 25 + controller trip, no device read
+
+
+def test_read_misses_go_to_device():
+    engine, stats, mc = make_mc()
+    done = []
+    mc.read(0x100, lambda: done.append(engine.cycle))
+    engine.run_until_idle()
+    assert done == [120]  # controller 20 + device read 100
+    assert stats.get("nvm.reads") == 1
+
+
+def test_log_write_goes_to_wpq_without_lpq():
+    engine, stats, mc = make_mc()
+    mc.submit_log(0x200, thread_id=0, txid=1)
+    engine.run_until_idle()
+    assert stats.get("nvm.write.log") == 1
+
+
+def test_log_write_held_in_lpq():
+    engine, stats, mc = make_mc()
+    mc.attach_lpq(16, log_write_removal=True)
+    mc.submit_log(0x200, thread_id=0, txid=1)
+    engine.run_until_idle()
+    # Below the watermark the entry never drains to NVM.
+    assert stats.get("nvm.write.log") == 0
+    assert mc.lpq.occupancy() == 1
+
+
+def test_flash_clear_drops_lpq_entries():
+    engine, stats, mc = make_mc()
+    mc.attach_lpq(16, log_write_removal=True)
+    for i in range(3):
+        mc.submit_log(0x200 + 64 * i, thread_id=0, txid=1)
+    engine.run_until_idle()
+    dropped = mc.flash_clear(thread_id=0, txid=1)
+    assert dropped == 2  # last entry retained as the tx-end mark
+    assert mc.lpq.occupancy() == 1
+
+
+def test_flash_clear_noop_without_lwr():
+    engine, stats, mc = make_mc()
+    mc.attach_lpq(16, log_write_removal=False)
+    mc.submit_log(0x200, thread_id=0, txid=1)
+    engine.run_until_idle()
+    assert mc.flash_clear(thread_id=0, txid=1) == 0
+
+
+def test_nolwr_lpq_drains_to_nvm():
+    engine, stats, mc = make_mc()
+    mc.attach_lpq(16, log_write_removal=False)
+    for i in range(3):
+        mc.submit_log(0x200 + 64 * i, thread_id=0, txid=1)
+    engine.run_until_idle()
+    assert stats.get("nvm.write.log") == 3
+
+
+def test_lpq_spills_above_watermark():
+    engine, stats, mc = make_mc()
+    mc.attach_lpq(4, log_write_removal=True)  # watermark = 3
+    for i in range(4):
+        mc.submit_log(0x200 + 64 * i, thread_id=0, txid=1)
+    engine.run_until_idle()
+    assert stats.get("nvm.write.log") >= 1
+
+
+def test_flush_logs_forces_everything_out():
+    engine, stats, mc = make_mc()
+    mc.attach_lpq(16, log_write_removal=True)
+    for i in range(3):
+        mc.submit_log(0x200 + 64 * i, thread_id=0, txid=1)
+    engine.run_until_idle()
+    mc.flush_logs(thread_id=0)
+    engine.run_until_idle()
+    assert stats.get("nvm.write.log") == 3
+    assert mc.lpq.occupancy() == 0
+
+
+def test_notify_when_persistent_waits_for_backlog():
+    engine, stats, mc = make_mc(banks=1)
+    fired = []
+    mc.write(0x100)
+    mc.write(0x140)
+    engine.fire_due_events()
+    mc.notify_when_persistent(lambda: fired.append(engine.cycle))
+    engine.run_until_idle()
+    assert fired  # fires once the queued write dispatched into the bank
+    assert stats.nvm_writes() == 2
+
+
+def test_register_log_region_classifies_writes():
+    engine, stats, mc = make_mc()
+    mc.register_log_region(0x10000, 0x1000)
+    mc.write(0x10040)   # inside the region
+    mc.write(0x100)     # outside
+    engine.run_until_idle()
+    assert stats.get("nvm.write.log-sw") == 1
+    assert stats.get("nvm.write.data") == 1
+
+
+def test_sticky_retired_by_next_tx_log():
+    engine, stats, mc = make_mc()
+    mc.attach_lpq(16, log_write_removal=True)
+    mc.submit_log(0x200, thread_id=0, txid=1)
+    engine.run_until_idle()
+    mc.flash_clear(thread_id=0, txid=1)
+    assert mc.lpq.occupancy() == 1  # sticky end mark
+    mc.submit_log(0x240, thread_id=0, txid=2)
+    engine.run_until_idle()
+    # The next transaction's first entry retires the stale mark.
+    addrs = [entry.addr for entry in mc.lpq.entries]
+    assert addrs == [0x240]

@@ -1,0 +1,76 @@
+"""Tests for memory-system contention behavior across cores."""
+
+import pytest
+
+from repro.core.schemes import Scheme
+from repro.sim.config import fast_nvm_config
+from repro.sim.simulator import run_trace
+from repro.workloads.base import generate_traces
+from repro.workloads.queue_wl import QueueWorkload
+from repro.workloads.stringswap_wl import StringSwapWorkload
+
+
+def test_shared_controller_slows_percore_throughput():
+    """Adding cores must cost each core something at the shared MC."""
+    config1 = fast_nvm_config(cores=1)
+    config4 = fast_nvm_config(cores=4)
+    traces4 = generate_traces(StringSwapWorkload, threads=4, seed=3,
+                              init_ops=512, sim_ops=12)
+    solo = run_trace(traces4[:1], Scheme.PMEM, config1)
+    together = run_trace(traces4, Scheme.PMEM, config4)
+    # All four cores' work cannot finish as fast as one core's alone...
+    assert together.cycles > solo.cycles
+    # ...but sharing must still beat full serialization.
+    assert together.cycles < 4 * solo.cycles
+
+
+def test_cores_progress_concurrently():
+    traces = generate_traces(QueueWorkload, threads=2, seed=3,
+                             init_ops=64, sim_ops=10)
+    result = run_trace(traces, Scheme.PROTEUS, fast_nvm_config(cores=2))
+    # Both threads committed all their transactions in one run.
+    assert result.stats.get("tx.committed") == 20
+
+
+def test_per_thread_lpq_isolation():
+    """One thread's flash clear must not drop another thread's entries."""
+    from repro.isa.ops import Op, TxRecord
+    from repro.isa.trace import OpTrace
+    from repro.sim.simulator import Simulator
+    from repro.workloads.heap import ThreadAddressSpace
+
+    traces = []
+    for thread in range(2):
+        space = ThreadAddressSpace(thread)
+        trace = OpTrace(thread_id=thread)
+        tx = TxRecord(txid=1)
+        addr = space.heap_base + 0x1000
+        tx.body = [Op.write(addr, thread)]
+        tx.log_candidates = [(addr, 64)]
+        trace.append(tx)
+        traces.append(trace)
+    sim = Simulator(fast_nvm_config(cores=2), Scheme.PROTEUS, traces)
+    result = sim.run()
+    # Each thread's commit kept its own sticky end mark; two remain.
+    lpq = sim.memctrl.lpq
+    threads = {entry.thread_id for entry in lpq.entries}
+    assert threads == {0, 1}
+    assert result.stats.get("nvm.write.log") == 0
+
+
+def test_wpq_contention_counted():
+    traces = generate_traces(StringSwapWorkload, threads=4, seed=3,
+                             init_ops=512, sim_ops=15)
+    result = run_trace(traces, Scheme.PMEM, fast_nvm_config(cores=4))
+    # Heavy multi-core write traffic must exercise WPQ backpressure.
+    assert result.stats.get("wpq.max_occupancy") > 16
+
+
+def test_multicore_determinism():
+    traces = generate_traces(QueueWorkload, threads=3, seed=3,
+                             init_ops=64, sim_ops=8)
+    config = fast_nvm_config(cores=3)
+    first = run_trace(traces, Scheme.ATOM, config)
+    second = run_trace(traces, Scheme.ATOM, config)
+    assert first.cycles == second.cycles
+    assert first.stats.snapshot() == second.stats.snapshot()

@@ -1,0 +1,67 @@
+"""Recovery with multiple threads: each thread has its own log area and
+at most one in-flight transaction (paper section 4.3)."""
+
+import pytest
+
+from repro.core.schemes import Scheme
+from repro.persistence.crash import CrashPoint, Phase, crash_image
+from repro.persistence.model import build_functional_txs, image_after, images_equal
+from repro.persistence.recovery import recover
+from repro.workloads.base import generate_traces
+from repro.workloads.queue_wl import QueueWorkload
+
+
+@pytest.fixture(scope="module")
+def thread_traces():
+    return generate_traces(QueueWorkload, threads=3, seed=17, init_ops=24, sim_ops=6)
+
+
+def test_threads_recover_independently(thread_traces):
+    """Crash each thread at a different phase; recovering each thread's
+    log yields a per-thread transaction boundary.  Threads touch
+    disjoint address spaces, so the global image is the union."""
+    scheme = Scheme.PROTEUS
+    recovered_union = {}
+    expected_union = {}
+    crash_plan = [
+        (0, Phase.COMMITTED),
+        (1, Phase.IN_FLIGHT),
+        (2, Phase.FLUSHED),
+    ]
+    for trace, (k, phase) in zip(thread_traces, crash_plan):
+        initial, txs = build_functional_txs(trace, scheme)
+        image = crash_image(initial, txs, scheme, CrashPoint(k, phase))
+        recovered = recover(image)
+        expected_k = k + 1 if phase is Phase.COMMITTED else k
+        expected = image_after(initial, txs, expected_k)
+        assert images_equal(recovered, expected)
+        recovered_union.update(recovered)
+        expected_union.update(expected)
+    assert images_equal(recovered_union, expected_union)
+
+
+def test_thread_address_spaces_disjoint(thread_traces):
+    footprints = []
+    for trace in thread_traces:
+        words = set()
+        for tx in trace.transactions():
+            for op in tx.writes():
+                words.add(op.addr)
+        footprints.append(words)
+    for i, a in enumerate(footprints):
+        for b in footprints[i + 1:]:
+            assert not (a & b)
+
+
+@pytest.mark.parametrize("scheme", [Scheme.PMEM, Scheme.ATOM, Scheme.PROTEUS])
+def test_every_thread_every_phase(thread_traces, scheme):
+    phases = [Phase.BEFORE, Phase.IN_FLIGHT, Phase.FLUSHED, Phase.COMMITTED]
+    if scheme.is_software:
+        phases += [Phase.LOGGING, Phase.FLAGGED]
+    for trace in thread_traces:
+        initial, txs = build_functional_txs(trace, scheme)
+        for phase in phases:
+            image = crash_image(initial, txs, scheme, CrashPoint(2, phase))
+            recovered = recover(image)
+            expected_k = 3 if phase is Phase.COMMITTED else 2
+            assert images_equal(recovered, image_after(initial, txs, expected_k))

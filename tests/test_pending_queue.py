@@ -1,0 +1,112 @@
+"""Unit tests for the WPQ/LPQ pending-queue structure."""
+
+import pytest
+
+from repro.mem.wpq import PendingQueue, QueueEntry
+from repro.sim.engine import Engine
+from repro.sim.stats import Stats
+
+
+def make_queue(capacity=4):
+    engine = Engine()
+    return engine, PendingQueue(engine, Stats(), capacity, "q")
+
+
+def test_capacity_validation():
+    engine = Engine()
+    with pytest.raises(ValueError):
+        PendingQueue(engine, Stats(), 0, "q")
+
+
+def test_submit_admits_and_acks():
+    engine, queue = make_queue()
+    acked = []
+    assert queue.submit(QueueEntry(0x100), lambda: acked.append(True))
+    engine.run_until_idle()
+    assert acked == [True]
+    assert queue.occupancy() == 1
+
+
+def test_admission_backpressure():
+    engine, queue = make_queue(capacity=2)
+    acked = []
+    for i in range(3):
+        queue.submit(QueueEntry(0x100 + 64 * i), lambda i=i: acked.append(i))
+    engine.run_until_idle()
+    assert acked == [0, 1]  # third waits in admission
+    assert queue.waiting_admission() == 1
+    queue.pop_for_drain()
+    engine.run_until_idle()
+    assert acked == [0, 1, 2]
+
+
+def test_contains_line():
+    engine, queue = make_queue()
+    queue.submit(QueueEntry(0x140))
+    assert queue.contains_line(0x140)
+    assert not queue.contains_line(0x180)
+
+
+def test_pop_for_drain_is_fifo():
+    engine, queue = make_queue()
+    queue.submit(QueueEntry(0x100))
+    queue.submit(QueueEntry(0x140))
+    assert queue.pop_for_drain().addr == 0x100
+    assert queue.pop_for_drain().addr == 0x140
+    assert queue.pop_for_drain() is None
+
+
+def test_pop_for_drain_skips_sticky():
+    engine, queue = make_queue()
+    sticky = QueueEntry(0x100, sticky=True)
+    queue.submit(sticky)
+    queue.submit(QueueEntry(0x140))
+    assert queue.pop_for_drain(skip_sticky=True).addr == 0x140
+    assert queue.pop_for_drain(skip_sticky=True) is None
+    assert queue.pop_oldest() is sticky
+
+
+def test_flash_clear_drops_matching_tx():
+    engine, queue = make_queue(capacity=8)
+    for i in range(3):
+        queue.submit(QueueEntry(0x100 + 64 * i, txid=5, thread_id=0))
+    queue.submit(QueueEntry(0x400, txid=6, thread_id=0))
+    queue.submit(QueueEntry(0x500, txid=5, thread_id=1))
+    dropped = queue.flash_clear(thread_id=0, txid=5)
+    assert dropped == 3
+    assert queue.occupancy() == 2
+
+
+def test_flash_clear_keep_last_marks_sticky():
+    engine, queue = make_queue(capacity=8)
+    for i in range(3):
+        queue.submit(QueueEntry(0x100 + 64 * i, txid=5, thread_id=0))
+    dropped = queue.flash_clear(thread_id=0, txid=5, keep_last=True)
+    assert dropped == 2
+    assert queue.occupancy() == 1
+    assert queue.entries[0].sticky
+    assert queue.entries[0].addr == 0x180
+
+
+def test_drop_stale_sticky_on_newer_tx():
+    engine, queue = make_queue(capacity=8)
+    queue.submit(QueueEntry(0x100, txid=5, thread_id=0))
+    queue.flash_clear(thread_id=0, txid=5, keep_last=True)
+    assert queue.occupancy() == 1
+    assert queue.drop_stale_sticky(thread_id=0, newer_txid=6) == 1
+    assert queue.occupancy() == 0
+    # Sticky entries of other threads survive.
+    queue.submit(QueueEntry(0x200, txid=5, thread_id=1))
+    queue.flash_clear(thread_id=1, txid=5, keep_last=True)
+    assert queue.drop_stale_sticky(thread_id=0, newer_txid=9) == 0
+
+
+def test_flash_clear_refills_from_admission():
+    engine, queue = make_queue(capacity=2)
+    queue.submit(QueueEntry(0x100, txid=1, thread_id=0))
+    queue.submit(QueueEntry(0x140, txid=1, thread_id=0))
+    acked = []
+    queue.submit(QueueEntry(0x180, txid=2, thread_id=0), lambda: acked.append(True))
+    queue.flash_clear(thread_id=0, txid=1)
+    engine.run_until_idle()
+    assert acked == [True]

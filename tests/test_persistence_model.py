@@ -1,0 +1,116 @@
+"""Tests for the functional persistence model."""
+
+import pytest
+
+from repro.core.schemes import Scheme
+from repro.isa.ops import Op, TxRecord
+from repro.isa.trace import OpTrace
+from repro.persistence.model import (
+    build_functional_txs,
+    image_after,
+    image_diff,
+    images_equal,
+)
+
+
+def make_trace():
+    trace = OpTrace(thread_id=0)
+    trace.initial_image = {0x1000: 10, 0x1008: 11, 0x1040: 12}
+    tx1 = TxRecord(txid=1)
+    tx1.body = [Op.write(0x1000, 100), Op.write(0x1008, 101)]
+    tx1.log_candidates = [(0x1000, 64)]
+    tx2 = TxRecord(txid=2)
+    tx2.body = [Op.write(0x1000, 200), Op.write(0x1040, 201)]
+    tx2.log_candidates = [(0x1000, 64), (0x1040, 64)]
+    trace.append(tx1)
+    trace.append(tx2)
+    return trace
+
+
+def test_final_words_and_written_lines():
+    initial, txs = build_functional_txs(make_trace(), Scheme.PROTEUS)
+    assert txs[0].final_words == {0x1000: 100, 0x1008: 101}
+    assert txs[0].written_lines == [0x1000]
+    assert txs[1].written_lines == [0x1000, 0x1040]
+
+
+def test_image_after_composition():
+    initial, txs = build_functional_txs(make_trace(), Scheme.PROTEUS)
+    assert image_after(initial, txs, 0)[0x1000] == 10
+    assert image_after(initial, txs, 1)[0x1000] == 100
+    assert image_after(initial, txs, 2)[0x1000] == 200
+    assert image_after(initial, txs, 2)[0x1008] == 101
+    with pytest.raises(ValueError):
+        image_after(initial, txs, 3)
+
+
+def test_software_logs_candidates_at_line_granularity():
+    initial, txs = build_functional_txs(make_trace(), Scheme.PMEM)
+    entries = txs[1].log_entries
+    assert {entry.block for entry in entries} == {0x1000, 0x1040}
+    assert all(entry.grain == 64 for entry in entries)
+    # Pre-images are the values at tx-2 start (after tx 1).
+    entry = next(e for e in entries if e.block == 0x1000)
+    assert entry.pre_image[0x1000] == 100
+    assert entry.pre_image[0x1008] == 101
+
+
+def test_proteus_logs_written_blocks_at_32B():
+    initial, txs = build_functional_txs(make_trace(), Scheme.PROTEUS)
+    entries = txs[0].log_entries
+    # Both writes fall in the same 32 B block: one entry.
+    assert len(entries) == 1
+    assert entries[0].grain == 32
+    assert entries[0].pre_image[0x1000] == 10
+
+
+def test_atom_logs_written_lines_at_64B():
+    initial, txs = build_functional_txs(make_trace(), Scheme.ATOM)
+    assert len(txs[0].log_entries) == 1
+    assert txs[0].log_entries[0].grain == 64
+
+
+def test_nolog_has_no_entries():
+    initial, txs = build_functional_txs(make_trace(), Scheme.PMEM_NOLOG)
+    assert all(not tx.log_entries for tx in txs)
+
+
+def test_last_entry_carries_end_mark():
+    initial, txs = build_functional_txs(make_trace(), Scheme.PROTEUS)
+    for tx in txs:
+        assert tx.log_entries[-1].tx_last
+        assert all(not e.tx_last for e in tx.log_entries[:-1])
+
+
+def test_small_filter_relogs_with_intra_tx_values():
+    """An LLT eviction makes a later duplicate entry whose pre-image holds
+    mid-transaction data — the hazard earliest-entry recovery handles."""
+    trace = OpTrace(thread_id=0)
+    trace.initial_image = {0x1000: 1, 0x1020: 2, 0x1040: 3}
+    tx = TxRecord(txid=1)
+    tx.body = [
+        Op.write(0x1000, 100),   # logs block 0x1000 (pre = 1)
+        Op.write(0x1020, 101),   # logs block 0x1020, evicts 0x1000
+        Op.write(0x1040, 102),   # logs block 0x1040, evicts 0x1020
+        Op.write(0x1000, 103),   # re-logs 0x1000 with pre = 100 (dirty!)
+    ]
+    tx.log_candidates = [(0x1000, 128)]
+    trace.append(tx)
+    initial, txs = build_functional_txs(trace, Scheme.PROTEUS, llt_capacity=2)
+    blocks = [entry.block for entry in txs[0].log_entries]
+    assert blocks.count(0x1000) == 2
+    first, second = [e for e in txs[0].log_entries if e.block == 0x1000]
+    assert first.pre_image[0x1000] == 1
+    assert second.pre_image[0x1000] == 100  # intra-transaction value
+    assert first.order < second.order
+
+
+def test_images_equal_treats_missing_as_zero():
+    assert images_equal({0x10: 0}, {})
+    assert not images_equal({0x10: 1}, {})
+    assert images_equal({}, {})
+
+
+def test_image_diff_reports_mismatches():
+    diffs = image_diff({0x10: 1}, {0x10: 2, 0x18: 3})
+    assert len(diffs) == 2

@@ -1,0 +1,183 @@
+"""Property-based tests (hypothesis) on core structures and invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.llt import LogLookupTable
+from repro.core.log_area import LOG_ENTRY_BYTES, LogArea
+from repro.core.logq import LogQueue
+from repro.core.schemes import Scheme
+from repro.isa.instructions import LOG_GRAIN, cache_line_of, expand_lines, expand_log_blocks
+from repro.mem.cache import Cache
+from repro.sim.config import CacheConfig
+from repro.sim.stats import Stats
+
+addresses = st.integers(min_value=0, max_value=1 << 24)
+small_sizes = st.integers(min_value=1, max_value=512)
+
+
+@given(addresses, small_sizes)
+def test_expand_lines_covers_range(addr, size):
+    lines = expand_lines(addr, size)
+    # Every byte of the range falls in exactly one returned line.
+    for byte in (addr, addr + size - 1, addr + size // 2):
+        assert cache_line_of(byte) in lines
+    # Lines are consecutive and unique.
+    assert list(lines) == sorted(set(lines))
+    assert all(line % 64 == 0 for line in lines)
+
+
+@given(addresses, small_sizes)
+def test_expand_log_blocks_covers_range(addr, size):
+    blocks = expand_log_blocks(addr, size)
+    assert all(block % LOG_GRAIN == 0 for block in blocks)
+    assert blocks[0] <= addr < blocks[-1] + LOG_GRAIN
+    assert blocks[0] <= addr + size - 1 < blocks[-1] + LOG_GRAIN
+
+
+@given(st.lists(addresses, min_size=1, max_size=200))
+def test_cache_never_exceeds_capacity(addrs):
+    cache = Cache(CacheConfig(1024, 2, 1), "p", Stats())
+    capacity = cache.config.sets * cache.config.ways
+    for addr in addrs:
+        cache.fill(cache_line_of(addr))
+        assert cache.resident_lines() <= capacity
+
+
+@given(st.lists(addresses, min_size=1, max_size=100))
+def test_cache_most_recent_fill_always_resident(addrs):
+    cache = Cache(CacheConfig(512, 2, 1), "p", Stats())
+    for addr in addrs:
+        line = cache_line_of(addr)
+        cache.fill(line)
+        assert cache.lookup(line, update_lru=False) is not None
+
+
+@given(st.lists(addresses, min_size=1, max_size=300))
+def test_llt_hit_implies_previous_probe_same_block(addrs):
+    llt = LogLookupTable(entries=16, ways=4)
+    seen_blocks = set()
+    for addr in addrs:
+        block = addr & ~(LOG_GRAIN - 1)
+        hit = llt.lookup_insert(addr)
+        if hit:
+            # A hit can only happen for a block probed before (evictions
+            # may turn would-be hits into misses, never the reverse).
+            assert block in seen_blocks
+        seen_blocks.add(block)
+
+
+@given(st.integers(min_value=1, max_value=64), st.integers(min_value=1, max_value=300))
+def test_log_area_slots_always_in_bounds(entries, allocations):
+    area = LogArea(0x4000, entries * LOG_ENTRY_BYTES)
+    for _ in range(allocations):
+        slot = area.next_slot()
+        assert area.contains(slot)
+        assert slot % LOG_ENTRY_BYTES == 0
+
+
+@given(st.lists(st.tuples(addresses, st.booleans()), min_size=1, max_size=60))
+def test_logq_block_ordering_property(events):
+    """While any flush to a block is pending, younger stores to that block
+    are held; once all complete, they are free."""
+    logq = LogQueue(entries=64)
+    live = []
+    seq = 0
+    for addr, complete_one in events:
+        seq += 1
+        if complete_one and live:
+            entry = live.pop(0)
+            if logq.can_resolve(entry):
+                logq.resolve(entry, 0x9000 + 64 * seq)
+                logq.complete(entry)
+            else:
+                live.insert(0, entry)
+        else:
+            entry = logq.allocate(seq, addr, txid=1)
+            if entry is not None:
+                live.append(entry)
+        pending_blocks = {entry.log_from for entry in live}
+        probe = addr & ~(LOG_GRAIN - 1)
+        if probe not in pending_blocks:
+            assert not logq.blocks_store(probe, store_seq=seq + 1000)
+
+
+@given(st.data())
+@settings(max_examples=40, deadline=None)
+def test_recovery_atomicity_property(data):
+    """THE paper invariant: for any crash point, any durable log subset,
+    and any data subset permitted by log-before-data ordering, recovery
+    lands exactly on a transaction boundary."""
+    from repro.persistence.crash import CrashPoint, Phase, crash_image
+    from repro.persistence.model import build_functional_txs, image_after, images_equal
+    from repro.persistence.recovery import recover
+    from repro.workloads.queue_wl import QueueWorkload
+
+    scheme = data.draw(st.sampled_from(
+        [Scheme.PMEM, Scheme.PROTEUS, Scheme.PROTEUS_NOLWR, Scheme.ATOM]
+    ))
+    seed = data.draw(st.integers(min_value=0, max_value=5))
+    wl = QueueWorkload(thread_id=0, seed=seed, init_ops=20, sim_ops=8)
+    trace = wl.generate()
+    initial, txs = build_functional_txs(trace, scheme)
+    k = data.draw(st.integers(min_value=0, max_value=len(txs) - 1))
+    tx = txs[k]
+    phases = [Phase.BEFORE, Phase.IN_FLIGHT, Phase.FLUSHED, Phase.COMMITTED]
+    if scheme.is_software:
+        phases += [Phase.LOGGING, Phase.FLAGGED]
+    phase = data.draw(st.sampled_from(phases))
+
+    log_durable = None
+    data_durable = None
+    if phase is Phase.IN_FLIGHT and not scheme.is_software:
+        n_log = len(tx.log_entries)
+        log_set = set(data.draw(st.sets(
+            st.integers(min_value=0, max_value=max(0, n_log - 1)),
+            max_size=n_log,
+        )))
+        # Only lines fully covered by durable log entries may be durable.
+        durable_blocks = {tx.log_entries[i].block for i in log_set}
+        eligible = []
+        for index, line in enumerate(tx.written_lines):
+            entry = tx.entry_for_line(line)
+            if entry is not None and entry.block in durable_blocks:
+                # Every entry overlapping the line must be durable.
+                covering = [
+                    i for i, e in enumerate(tx.log_entries)
+                    if not (e.block + e.grain <= line or line + 64 <= e.block)
+                ]
+                if set(covering) <= log_set:
+                    eligible.append(index)
+        data_set = data.draw(st.sets(st.sampled_from(eligible), max_size=len(eligible))) if eligible else set()
+        log_durable = frozenset(log_set)
+        data_durable = frozenset(data_set)
+    elif phase is Phase.IN_FLIGHT:
+        n = len(tx.written_lines)
+        subset = data.draw(st.sets(
+            st.integers(min_value=0, max_value=max(0, n - 1)), max_size=n
+        )) if n else set()
+        data_durable = frozenset(subset)
+
+    crash = CrashPoint(k, phase, log_durable=log_durable, data_durable=data_durable)
+    image = crash_image(initial, txs, scheme, crash)
+    recovered = recover(image)
+    expected_k = k + 1 if phase is Phase.COMMITTED else k
+    assert images_equal(recovered, image_after(initial, txs, expected_k))
+
+
+@given(st.lists(st.integers(min_value=1, max_value=400), min_size=1, max_size=50))
+def test_heap_alloc_free_roundtrip(sizes):
+    from repro.workloads.heap import ALIGNMENT, PersistentHeap, ThreadAddressSpace
+
+    heap = PersistentHeap(ThreadAddressSpace(0))
+    live = []
+    for size in sizes:
+        addr = heap.alloc(size)
+        assert addr % ALIGNMENT == 0
+        for other_addr, other_size in live:
+            a_end = addr + heap._size_class(size)
+            b_end = other_addr + heap._size_class(other_size)
+            assert addr >= b_end or other_addr >= a_end, "overlap"
+        live.append((addr, size))
+    for addr, size in live:
+        heap.free(addr, size)
+    assert heap.live_objects == 0

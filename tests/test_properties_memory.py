@@ -1,0 +1,102 @@
+"""Property-based tests for the memory-system components."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.mem.nvm import NvmDevice, NvmRequest
+from repro.mem.wpq import PendingQueue, QueueEntry
+from repro.sim.config import MemoryConfig
+from repro.sim.engine import Engine
+from repro.sim.stats import Stats
+
+line_addrs = st.integers(min_value=0, max_value=1 << 20).map(lambda a: a & ~63)
+
+
+@given(st.lists(line_addrs, min_size=1, max_size=40),
+       st.integers(min_value=1, max_value=8))
+def test_wpq_never_exceeds_capacity_and_acks_everyone(addrs, capacity):
+    engine = Engine()
+    queue = PendingQueue(engine, Stats(), capacity, "q")
+    acked = []
+    for i, addr in enumerate(addrs):
+        queue.submit(QueueEntry(addr), lambda i=i: acked.append(i))
+        assert queue.occupancy() <= capacity
+    # Drain everything; every submitter must eventually be acknowledged.
+    while queue.pop_for_drain() is not None:
+        assert queue.occupancy() <= capacity
+    engine.run_until_idle()
+    assert acked == sorted(acked)          # admission acks in FIFO order
+    assert len(acked) == len(addrs)
+
+
+@given(st.lists(line_addrs, min_size=1, max_size=30))
+def test_wpq_admission_preserves_fifo(addrs):
+    engine = Engine()
+    queue = PendingQueue(engine, Stats(), 4, "q")
+    for addr in addrs:
+        queue.submit(QueueEntry(addr))
+    drained = []
+    while True:
+        entry = queue.pop_for_drain()
+        if entry is None:
+            break
+        drained.append(entry.addr)
+    assert drained == addrs[: len(drained)]
+
+
+@given(st.lists(st.tuples(line_addrs, st.booleans()), min_size=1, max_size=40))
+@settings(deadline=None)
+def test_device_completes_every_request_exactly_once(requests):
+    engine = Engine()
+    stats = Stats()
+    device = NvmDevice(
+        engine,
+        MemoryConfig(read_latency=50, write_latency=150, row_hit_latency=5, banks=4),
+        stats,
+    )
+    done = []
+    for index, (addr, is_write) in enumerate(requests):
+        device.submit(NvmRequest(addr, is_write, callback=lambda i=index: done.append(i)))
+    engine.run_until_idle()
+    assert sorted(done) == list(range(len(requests)))
+    assert device.is_idle()
+    reads = sum(1 for _, w in requests if not w)
+    assert stats.get("nvm.reads") == reads
+    assert stats.nvm_writes() == len(requests) - reads
+
+
+@given(st.lists(st.tuples(line_addrs, st.integers(min_value=0, max_value=3)),
+                min_size=1, max_size=30))
+@settings(deadline=None)
+def test_lpq_flash_clear_only_drops_matching(events):
+    engine = Engine()
+    queue = PendingQueue(engine, Stats(), 64, "lpq")
+    live = {}
+    for addr, txid in events:
+        queue.submit(QueueEntry(addr, txid=txid, thread_id=0))
+        live.setdefault(txid, 0)
+        live[txid] += 1
+    target = events[0][1]
+    queue.flash_clear(thread_id=0, txid=target, keep_last=False)
+    remaining = {}
+    for entry in queue.entries:
+        remaining.setdefault(entry.txid, 0)
+        remaining[entry.txid] += 1
+    assert target not in remaining
+    for txid, count in live.items():
+        if txid != target:
+            assert remaining.get(txid, 0) == count
+
+
+@given(st.integers(min_value=0, max_value=10000),
+       st.lists(st.integers(min_value=0, max_value=500), min_size=1, max_size=30))
+def test_engine_event_order_is_deterministic(start, delays):
+    def run():
+        engine = Engine()
+        engine.advance(start)
+        fired = []
+        for index, delay in enumerate(delays):
+            engine.schedule(delay, lambda i=index: fired.append((engine.cycle, i)))
+        engine.run_until_idle()
+        return fired
+
+    assert run() == run()

@@ -1,0 +1,71 @@
+"""Tests for recovery-cost accounting."""
+
+import pytest
+
+from repro.core.schemes import Scheme
+from repro.persistence.crash import CrashImage, CrashPoint, Phase, crash_image
+from repro.persistence.model import build_functional_txs
+from repro.persistence.recovery import RecoveryError, recovery_cost
+from repro.workloads.queue_wl import QueueWorkload
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return QueueWorkload(thread_id=0, seed=29, init_ops=32, sim_ops=10).generate()
+
+
+def test_committed_crash_costs_almost_nothing(trace):
+    initial, txs = build_functional_txs(trace, Scheme.PROTEUS)
+    image = crash_image(initial, txs, Scheme.PROTEUS, CrashPoint(4, Phase.COMMITTED))
+    cost = recovery_cost(image)
+    assert cost["data_writes"] == 0
+    assert cost["flag_writes"] == 0
+
+
+def test_inflight_cost_proportional_to_log(trace):
+    initial, txs = build_functional_txs(trace, Scheme.PROTEUS)
+    k = max(range(len(txs)), key=lambda i: len(txs[i].log_entries))
+    image = crash_image(initial, txs, Scheme.PROTEUS, CrashPoint(k, Phase.FLUSHED))
+    cost = recovery_cost(image)
+    distinct_blocks = {entry.block for entry in txs[k].log_entries}
+    assert cost["data_writes"] == len(distinct_blocks)
+    assert cost["log_reads"] >= len(txs[k].log_entries)
+
+
+def test_software_cost_includes_flag_handling(trace):
+    initial, txs = build_functional_txs(trace, Scheme.PMEM)
+    image = crash_image(initial, txs, Scheme.PMEM, CrashPoint(3, Phase.FLUSHED))
+    cost = recovery_cost(image)
+    assert cost["flag_writes"] == 1
+    assert cost["data_writes"] == len(txs[3].log_entries)
+
+
+def test_clean_software_crash_reads_only_flag(trace):
+    initial, txs = build_functional_txs(trace, Scheme.PMEM)
+    image = crash_image(initial, txs, Scheme.PMEM, CrashPoint(3, Phase.BEFORE))
+    cost = recovery_cost(image)
+    assert cost == {"log_reads": 1, "data_writes": 0, "flag_writes": 0}
+
+
+def test_duplicate_blocks_written_once(trace):
+    """Even with duplicate (LLT-evicted) entries, each block is restored
+    exactly once — recovery cost is bounded by distinct blocks."""
+    from repro.isa.ops import Op, TxRecord
+    from repro.isa.trace import OpTrace
+
+    small = OpTrace(thread_id=0)
+    small.initial_image = {0x1000: 1, 0x1020: 2, 0x1040: 3}
+    tx = TxRecord(txid=1)
+    tx.body = [Op.write(0x1000, 9), Op.write(0x1020, 9), Op.write(0x1040, 9),
+               Op.write(0x1000, 10)]
+    tx.log_candidates = [(0x1000, 128)]
+    small.append(tx)
+    initial, txs = build_functional_txs(small, Scheme.PROTEUS, llt_capacity=2)
+    assert len(txs[0].log_entries) == 4  # one duplicate
+    image = crash_image(initial, txs, Scheme.PROTEUS, CrashPoint(0, Phase.FLUSHED))
+    assert recovery_cost(image)["data_writes"] == 3
+
+
+def test_unsafe_scheme_rejected():
+    with pytest.raises(RecoveryError):
+        recovery_cost(CrashImage(Scheme.PMEM_NOLOG, {}, []))

@@ -1,0 +1,43 @@
+"""Unit tests for the scheme registry."""
+
+from repro.core.schemes import BASELINE, FIGURE_ORDER, Scheme
+
+
+def test_classification_flags():
+    assert Scheme.PMEM.is_software
+    assert Scheme.PMEM_PCOMMIT.is_software
+    assert not Scheme.PMEM_NOLOG.is_software
+    assert Scheme.ATOM.is_hardware
+    assert Scheme.PROTEUS.is_sshl
+    assert Scheme.PROTEUS_NOLWR.is_sshl
+    assert not Scheme.ATOM.is_sshl
+
+
+def test_failure_safety():
+    unsafe = {s for s in Scheme if not s.failure_safe}
+    assert unsafe == {Scheme.PMEM_NOLOG, Scheme.PMEM_STRICT}
+
+
+def test_pcommit_flag():
+    assert Scheme.PMEM_PCOMMIT.uses_pcommit
+    assert not Scheme.PMEM.uses_pcommit
+
+
+def test_lpq_and_lwr_flags():
+    assert Scheme.PROTEUS.uses_lpq
+    assert Scheme.PROTEUS_NOLWR.uses_lpq
+    assert not Scheme.ATOM.uses_lpq
+    assert Scheme.PROTEUS.log_write_removal
+    assert not Scheme.PROTEUS_NOLWR.log_write_removal
+
+
+def test_baseline_and_figure_order():
+    assert BASELINE is Scheme.PMEM
+    assert BASELINE not in FIGURE_ORDER
+    assert FIGURE_ORDER[-1] is Scheme.PMEM_NOLOG
+    assert len(set(FIGURE_ORDER)) == len(FIGURE_ORDER) == 5
+
+
+def test_str_matches_paper_labels():
+    assert str(Scheme.PMEM_PCOMMIT) == "PMEM+pcommit"
+    assert str(Scheme.PROTEUS_NOLWR) == "Proteus+NoLWR"

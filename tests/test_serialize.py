@@ -1,0 +1,76 @@
+"""Tests for trace serialization."""
+
+import io
+import json
+
+import pytest
+
+from repro.core.schemes import Scheme
+from repro.isa.serialize import (
+    load_trace,
+    save_trace,
+    trace_from_dict,
+    trace_to_dict,
+)
+from repro.sim.config import fast_nvm_config
+from repro.sim.simulator import run_trace
+from repro.workloads.queue_wl import QueueWorkload
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return QueueWorkload(thread_id=0, seed=9, init_ops=48, sim_ops=10).generate()
+
+
+def test_dict_roundtrip(trace):
+    rebuilt = trace_from_dict(trace_to_dict(trace))
+    assert rebuilt.thread_id == trace.thread_id
+    assert rebuilt.transaction_count() == trace.transaction_count()
+    assert rebuilt.store_count() == trace.store_count()
+    assert rebuilt.warm_lines == trace.warm_lines
+    assert rebuilt.initial_image == trace.initial_image
+
+
+def test_roundtrip_preserves_op_details(trace):
+    rebuilt = trace_from_dict(trace_to_dict(trace))
+    for original, loaded in zip(trace.transactions(), rebuilt.transactions()):
+        assert original.txid == loaded.txid
+        assert original.log_candidates == loaded.log_candidates
+        assert len(original.body) == len(loaded.body)
+        for op_a, op_b in zip(original.body, loaded.body):
+            assert op_a == op_b
+
+
+def test_file_roundtrip(trace, tmp_path):
+    path = str(tmp_path / "trace.json")
+    save_trace(trace, path)
+    rebuilt = load_trace(path)
+    assert rebuilt.transaction_count() == trace.transaction_count()
+
+
+def test_stream_roundtrip(trace):
+    buffer = io.StringIO()
+    save_trace(trace, buffer)
+    buffer.seek(0)
+    rebuilt = load_trace(buffer)
+    assert rebuilt.store_count() == trace.store_count()
+
+
+def test_payload_is_plain_json(trace):
+    data = trace_to_dict(trace)
+    json.dumps(data)  # must not raise
+
+
+def test_version_check():
+    with pytest.raises(ValueError):
+        trace_from_dict({"version": 999, "thread_id": 0, "items": []})
+
+
+def test_loaded_trace_simulates_identically(trace):
+    """A serialized trace must produce bit-identical simulation results."""
+    rebuilt = trace_from_dict(trace_to_dict(trace))
+    config = fast_nvm_config(cores=1)
+    original = run_trace([trace], Scheme.PROTEUS, config)
+    reloaded = run_trace([rebuilt], Scheme.PROTEUS, config)
+    assert original.cycles == reloaded.cycles
+    assert original.stats.snapshot() == reloaded.stats.snapshot()

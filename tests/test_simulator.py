@@ -1,0 +1,82 @@
+"""Tests for the top-level simulator plumbing."""
+
+import pytest
+
+from repro.core.schemes import Scheme
+from repro.sim.config import fast_nvm_config
+from repro.sim.simulator import SimResult, Simulator, run_trace, run_workload
+from repro.workloads.queue_wl import QueueWorkload
+from repro.workloads.base import generate_traces
+
+
+def test_run_workload_convenience():
+    result = run_workload(
+        QueueWorkload, Scheme.PMEM_NOLOG, threads=1, seed=3, init_ops=32, sim_ops=5
+    )
+    assert isinstance(result, SimResult)
+    assert result.cycles > 0
+    assert result.ipc > 0
+
+
+def test_speedup_over():
+    base = run_workload(
+        QueueWorkload, Scheme.PMEM, threads=1, seed=3, init_ops=32, sim_ops=5
+    )
+    fast = run_workload(
+        QueueWorkload, Scheme.PMEM_NOLOG, threads=1, seed=3, init_ops=32, sim_ops=5
+    )
+    assert fast.speedup_over(base) > 1.0
+    assert base.speedup_over(base) == 1.0
+
+
+def test_lpq_attached_only_for_sshl():
+    traces = generate_traces(QueueWorkload, threads=1, seed=3, init_ops=32, sim_ops=3)
+    config = fast_nvm_config(cores=1)
+    for scheme in Scheme:
+        sim = Simulator(config, scheme, traces)
+        if scheme.is_sshl:
+            assert sim.memctrl.lpq is not None
+            assert sim.memctrl.log_write_removal == scheme.log_write_removal
+        else:
+            assert sim.memctrl.lpq is None
+
+
+def test_sw_log_regions_registered_for_software_schemes():
+    traces = generate_traces(QueueWorkload, threads=1, seed=3, init_ops=32, sim_ops=3)
+    config = fast_nvm_config(cores=1)
+    sw = Simulator(config, Scheme.PMEM, traces)
+    assert sw.memctrl._log_regions
+    hw = Simulator(config, Scheme.PROTEUS, traces)
+    assert not hw.memctrl._log_regions
+
+
+def test_max_cycles_guard():
+    traces = generate_traces(QueueWorkload, threads=1, seed=3, init_ops=32, sim_ops=5)
+    with pytest.raises(RuntimeError):
+        run_trace(traces, Scheme.PMEM, fast_nvm_config(cores=1), max_cycles=10)
+
+
+def test_final_drain_completes_write_accounting():
+    result = run_workload(
+        QueueWorkload, Scheme.PMEM, threads=1, seed=3, init_ops=32, sim_ops=5
+    )
+    # After the final drain nothing is pending at the controller.
+    assert result.nvm_writes > 0
+
+
+def test_stats_include_cycles():
+    result = run_workload(
+        QueueWorkload, Scheme.ATOM, threads=1, seed=3, init_ops=32, sim_ops=5
+    )
+    assert result.stats.cycles() == result.cycles
+
+
+def test_config_replace_helpers():
+    config = fast_nvm_config(cores=2)
+    other = config.with_proteus(logq_entries=4)
+    assert other.proteus.logq_entries == 4
+    assert config.proteus.logq_entries == 16  # original untouched
+    mem = config.with_memory(write_latency=1234)
+    assert mem.memory.write_latency == 1234
+    described = config.describe()
+    assert "cores" in described and described["cores"] == "2"

@@ -1,0 +1,90 @@
+"""Unit tests for the statistics registry."""
+
+import pytest
+
+from repro.sim.stats import Stats, geometric_mean
+
+
+def test_add_and_get():
+    stats = Stats()
+    assert stats.get("x") == 0
+    stats.add("x")
+    stats.add("x", 4)
+    assert stats.get("x") == 5
+
+
+def test_set_max_tracks_high_water():
+    stats = Stats()
+    stats.set_max("occ", 3)
+    stats.set_max("occ", 1)
+    stats.set_max("occ", 7)
+    assert stats.get("occ") == 7
+
+
+def test_ipc_zero_when_no_cycles():
+    stats = Stats()
+    assert stats.ipc() == 0.0
+    stats.counters["cycles"] = 100
+    stats.counters["retired_instructions"] = 250
+    assert stats.ipc() == 2.5
+
+
+def test_frontend_stall_breakdown():
+    stats = Stats()
+    stats.add("stall.rob", 10)
+    stats.add("stall.lq", 5)
+    stats.add("other", 99)
+    assert stats.frontend_stalls() == 15
+    assert stats.stall_breakdown() == {"rob": 10, "lq": 5}
+
+
+def test_nvm_write_breakdown():
+    stats = Stats()
+    stats.add("nvm.write.data", 7)
+    stats.add("nvm.write.log", 3)
+    stats.add("nvm.reads", 5)
+    assert stats.nvm_writes() == 10
+    assert stats.nvm_write_breakdown() == {"data": 7, "log": 3}
+    assert stats.nvm_reads() == 5
+
+
+def test_llt_miss_rate():
+    stats = Stats()
+    assert stats.llt_miss_rate() == 0.0
+    stats.add("llt.hits", 3)
+    stats.add("llt.misses", 1)
+    assert stats.llt_miss_rate() == pytest.approx(0.25)
+
+
+def test_merge_sums_counters():
+    a, b = Stats(), Stats()
+    a.add("x", 2)
+    b.add("x", 3)
+    b.add("y", 1)
+    a.merge(b)
+    assert a.get("x") == 5
+    assert a.get("y") == 1
+
+
+def test_format_filters_by_prefix():
+    stats = Stats()
+    stats.add("nvm.write.data", 1)
+    stats.add("stall.rob", 2)
+    text = stats.format(["stall."])
+    assert "stall.rob" in text
+    assert "nvm.write.data" not in text
+
+
+def test_geometric_mean():
+    assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+    assert geometric_mean([]) == 1.0
+    with pytest.raises(ValueError):
+        geometric_mean([1.0, 0.0])
+
+
+def test_snapshot_is_a_copy():
+    stats = Stats()
+    stats.add("x")
+    snap = stats.snapshot()
+    snap["x"] = 99
+    assert stats.get("x") == 1

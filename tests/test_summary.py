@@ -1,0 +1,42 @@
+"""Tests for the whole-evaluation summary and bar rendering."""
+
+import pytest
+
+from repro.analysis.report import format_bars
+from repro.analysis.summary import ALL_EXPERIMENTS, run_all, scorecard, full_report
+
+
+def test_format_bars_renders_marker_and_values():
+    text = format_bars("T", {"a": 2.0, "b": 0.5}, width=20)
+    assert "T" in text
+    assert "2.00" in text and "0.50" in text
+    assert "#" in text
+    assert "|" in text  # the reference marker on the shorter bar
+
+
+def test_format_bars_empty():
+    assert format_bars("T", {}) == "T"
+
+
+def test_registry_covers_every_figure_and_table():
+    names = [name for name, _ in ALL_EXPERIMENTS]
+    assert names == [
+        "Figure 6", "Figure 7", "Figure 8", "Figure 9", "Figure 10",
+        "Figure 11", "Figure 12", "Table 3", "Table 4",
+    ]
+
+
+@pytest.mark.slow
+def test_full_report_tiny_scale():
+    report = full_report(threads=1, scale=0.05)
+    assert "Figure 6" in report
+    assert "Scorecard" in report
+    assert "Table 4" in report
+
+
+def test_scorecard_formatting():
+    results = run_all(threads=1, scale=0.05)
+    text = scorecard(results)
+    assert "paper" in text and "measured" in text
+    # Every experiment with reference values contributes lines.
+    assert text.count("Figure 6") >= 3

@@ -1,0 +1,87 @@
+"""Tests for the NVM traffic recorder."""
+
+import pytest
+
+from repro.analysis.traffic import TrafficRecorder, record_simulation
+from repro.core.schemes import Scheme
+from repro.mem.nvm import NvmDevice, NvmRequest
+from repro.sim.config import MemoryConfig, fast_nvm_config
+from repro.sim.engine import Engine
+from repro.sim.simulator import Simulator
+from repro.sim.stats import Stats
+from repro.workloads.base import generate_traces
+from repro.workloads.queue_wl import QueueWorkload
+
+
+def make_device():
+    engine = Engine()
+    device = NvmDevice(
+        engine,
+        MemoryConfig(read_latency=100, write_latency=300, row_hit_latency=10, banks=2),
+        Stats(),
+    )
+    return engine, device
+
+
+def test_window_validation():
+    engine, device = make_device()
+    with pytest.raises(ValueError):
+        TrafficRecorder(engine, device, window=0)
+
+
+def test_requests_binned_by_completion_cycle():
+    engine, device = make_device()
+    recorder = TrafficRecorder(engine, device, window=150)
+    device.submit(NvmRequest(0x000, is_write=False))        # completes @100
+    device.submit(NvmRequest(1 << 11, is_write=True, category="log"))  # @300
+    engine.run_until_idle()
+    windows = recorder.windows()
+    assert len(windows) == 2
+    assert windows[0].reads == 1 and windows[0].writes == 0
+    assert windows[1].writes_by_category == {"log": 1}
+
+
+def test_totals_and_peak():
+    engine, device = make_device()
+    recorder = TrafficRecorder(engine, device, window=10_000)
+    for i in range(4):
+        device.submit(NvmRequest(64 * i, is_write=True, category="data"))
+    device.submit(NvmRequest(1 << 11, is_write=False))
+    engine.run_until_idle()
+    totals = recorder.totals()
+    assert totals == {"reads": 1, "data": 4}
+    peak = recorder.peak_window()
+    assert peak.writes == 4
+
+
+def test_original_callbacks_still_fire():
+    engine, device = make_device()
+    recorder = TrafficRecorder(engine, device, window=1000)
+    fired = []
+    device.submit(NvmRequest(0x0, is_write=True, callback=lambda: fired.append(True)))
+    engine.run_until_idle()
+    assert fired == [True]
+    assert recorder.totals() == {"reads": 0, "data": 1}
+
+
+def test_saturation_fraction_bounds():
+    engine, device = make_device()
+    recorder = TrafficRecorder(engine, device, window=1000)
+    assert recorder.saturation_fraction(1.0) == 0.0
+    device.submit(NvmRequest(0x0, is_write=True))
+    engine.run_until_idle()
+    assert recorder.saturation_fraction(1e-9) == 1.0
+    assert recorder.saturation_fraction(10.0) == 0.0
+
+
+def test_record_full_simulation():
+    traces = generate_traces(QueueWorkload, threads=1, seed=5, init_ops=32, sim_ops=8)
+    sim = Simulator(fast_nvm_config(cores=1), Scheme.PMEM, traces)
+    recorder = record_simulation(sim, window=5_000)
+    result = sim.run()
+    totals = recorder.totals()
+    writes = sum(count for key, count in totals.items() if key != "reads")
+    assert writes == result.nvm_writes
+    assert "log-sw" in totals          # software log traffic visible
+    timeline = recorder.format_timeline()
+    assert "lines" in timeline

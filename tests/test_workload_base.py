@@ -1,0 +1,109 @@
+"""Tests for the workload harness (recording, golden image, validation)."""
+
+import pytest
+
+from repro.core.log_area import LogArea, LogAreaOverflow
+from repro.core.schemes import Scheme
+from repro.isa.ops import Op, TxRecord
+from repro.isa.trace import OpTrace
+from repro.sim.config import fast_nvm_config
+from repro.sim.simulator import Simulator
+from repro.workloads.base import Workload, generate_traces
+from repro.workloads.queue_wl import QueueWorkload
+
+
+class _ToyWorkload(Workload):
+    name = "TOY"
+    default_init_ops = 1
+    default_sim_ops = 2
+    think_instructions = 0
+
+    def setup(self):
+        self.addr = self.heap.alloc(64)
+        self.poke(self.addr, 0)
+
+    def run_op(self):
+        self.begin_tx()
+        self.log_candidate(self.addr, 64)
+        self.rec_read(self.addr)
+        self.rec_compute(2)
+        self.rec_write(self.addr, self.rng.getrandbits(16))
+        return self.end_tx()
+
+
+def test_nested_transactions_rejected():
+    wl = _ToyWorkload()
+    wl.setup()
+    wl.begin_tx()
+    with pytest.raises(RuntimeError):
+        wl.begin_tx()
+
+
+def test_end_without_begin_rejected():
+    wl = _ToyWorkload()
+    wl.setup()
+    with pytest.raises(RuntimeError):
+        wl.end_tx()
+
+
+def test_recording_outside_tx_rejected():
+    wl = _ToyWorkload()
+    wl.setup()
+    with pytest.raises(RuntimeError):
+        wl.rec_write(0x1000, 1)
+
+
+def test_golden_image_tracks_writes():
+    wl = _ToyWorkload()
+    trace = wl.generate()
+    last_tx = list(trace.transactions())[-1]
+    last_write = last_tx.writes()[-1]
+    assert wl.golden[wl.addr] == last_write.value
+
+
+def test_wide_write_updates_every_word():
+    wl = _ToyWorkload()
+    wl.setup()
+    wl.begin_tx()
+    wl.log_candidate(wl.addr, 64)
+    wl.rec_write(wl.addr, 9, size=32)
+    wl.end_tx()
+    for offset in range(0, 32, 8):
+        assert wl.golden[wl.addr + offset] == 9
+
+
+def test_initial_image_snapshot_excludes_sim_writes():
+    wl = _ToyWorkload()
+    trace = wl.generate()
+    assert trace.initial_image[wl.addr] == 0  # pre-simulation value
+
+
+def test_generate_traces_one_per_thread():
+    traces = generate_traces(QueueWorkload, threads=3, seed=5, init_ops=32, sim_ops=4)
+    assert [t.thread_id for t in traces] == [0, 1, 2]
+    # Threads use disjoint address spaces.
+    firsts = set()
+    for trace in traces:
+        tx = next(trace.transactions())
+        firsts.add(tx.writes()[0].addr >> 32)
+    assert len(firsts) == 3
+
+
+def test_log_area_overflow_raised_by_simulator():
+    """A transaction with more log entries than the hardware log area
+    raises the paper's overflow exception."""
+    trace = OpTrace(thread_id=0)
+    tx = TxRecord(txid=1)
+    # 200 distinct 32 B blocks > a 64-entry log area.
+    for i in range(200):
+        tx.body.append(Op.write(0x100000 + 32 * i, i))
+    tx.log_candidates = [(0x100000, 32 * 200)]
+    trace.append(tx)
+
+    config = fast_nvm_config(cores=1)
+    sim = Simulator(config, Scheme.PROTEUS, [trace])
+    # Shrink the log area after construction to force the overflow.
+    sim.cores[0].adapter.log_area = LogArea(0x5_0000_0000, 64 * 64, 0)
+    sim.cores[0].adapter.log_area.begin_transaction()
+    with pytest.raises(LogAreaOverflow):
+        sim.run()

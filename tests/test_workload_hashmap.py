@@ -1,0 +1,71 @@
+"""Tests for the hash-map (HM) workload."""
+
+import pytest
+
+from repro.workloads.hashmap_wl import KEY_OFF, NEXT_OFF, HashMapWorkload
+
+
+def make(seed=5, init_ops=200, sim_ops=40):
+    return HashMapWorkload(thread_id=0, seed=seed, init_ops=init_ops, sim_ops=sim_ops)
+
+
+def test_generate_and_invariants():
+    wl = make(sim_ops=120)
+    trace = wl.generate()
+    assert trace.transaction_count() == 120
+    wl.check_invariants()
+    trace.validate()
+
+
+def test_hash_stays_in_range():
+    wl = make()
+    for key in range(0, 1 << 20, 99991):
+        assert 0 <= wl._hash(key) < wl.BUCKETS_PER_MAP
+
+
+def test_chains_consistent_with_golden():
+    wl = make(sim_ops=150)
+    wl.generate()
+    for hmap in wl.maps:
+        for bucket, chain in hmap.chains.items():
+            if not chain:
+                continue
+            node = wl.golden[hmap.bucket_addr(bucket)]
+            for key, addr in chain:
+                assert node == addr
+                assert wl.golden[addr + KEY_OFF] == key
+                node = wl.golden.get(addr + NEXT_OFF, 0)
+            assert node == 0
+
+
+def test_key_registry_matches_chains():
+    wl = make(sim_ops=100)
+    wl.generate()
+    for index, hmap in enumerate(wl.maps):
+        chain_keys = {
+            key for chain in hmap.chains.values() for key, _ in chain
+        }
+        assert chain_keys == wl._key_sets[index]
+        assert chain_keys == set(wl.keys[index])
+
+
+def test_deletes_hit_existing_keys():
+    """Roughly half the ops should be successful deletes."""
+    wl = make(init_ops=500, sim_ops=200)
+    before = 500  # approximate (duplicates skipped)
+    wl.generate()
+    # The structure did not simply grow by sim_ops: deletes really removed.
+    total = sum(len(keys) for keys in wl.keys)
+    assert total < before + 200
+
+
+def test_reads_are_chained_pointer_chases():
+    wl = make(init_ops=400, sim_ops=60)
+    trace = wl.generate()
+    chained = sum(
+        1
+        for tx in trace.transactions()
+        for op in tx.reads()
+        if op.chained
+    )
+    assert chained > 0

@@ -1,0 +1,52 @@
+"""Tests for the large-transaction linked-list microbenchmark (Table 3)."""
+
+import pytest
+
+from repro.workloads.linkedlist_wl import HEADER_BYTES, LinkedListWorkload
+
+
+def make(elements=64, nodes=8, sim_ops=4, seed=5):
+    return LinkedListWorkload(
+        thread_id=0, seed=seed, init_ops=nodes, sim_ops=sim_ops,
+        elements_per_node=elements,
+    )
+
+
+def test_transaction_updates_whole_node():
+    wl = make(elements=128, sim_ops=1)
+    trace = wl.generate()
+    tx = next(trace.transactions())
+    assert len(tx.writes()) == 128
+    # 128 elements x 8 B = 1 KB = 16 lines.
+    assert len(tx.written_lines()) == 16
+
+
+def test_log_candidate_covers_node():
+    wl = make(elements=128, sim_ops=1)
+    trace = wl.generate()
+    tx = next(trace.transactions())
+    assert len(tx.log_candidates) == 1
+    base, size = tx.log_candidates[0]
+    assert size == HEADER_BYTES + 128 * 8
+
+
+def test_invariants_after_updates():
+    wl = make(elements=32, nodes=6, sim_ops=20)
+    wl.generate()
+    wl.check_invariants()
+
+
+def test_scaling_log_entries_with_element_count():
+    small = make(elements=64, sim_ops=2, seed=9).generate()
+    large = make(elements=256, sim_ops=2, seed=9).generate()
+    small_writes = sum(len(tx.writes()) for tx in small.transactions())
+    large_writes = sum(len(tx.writes()) for tx in large.transactions())
+    assert large_writes == 4 * small_writes
+
+
+def test_element_addresses_within_node():
+    wl = make(elements=16)
+    wl.setup()
+    node = wl.nodes[0]
+    assert wl.element_addr(node, 0) == node + HEADER_BYTES
+    assert wl.element_addr(node, 15) == node + HEADER_BYTES + 15 * 8

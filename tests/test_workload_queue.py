@@ -1,0 +1,82 @@
+"""Tests for the queue (QE) workload."""
+
+import pytest
+
+from repro.workloads.queue_wl import HEAD_OFF, LEN_OFF, NEXT_OFF, QueueWorkload
+
+
+def make(seed=5, init_ops=40, sim_ops=30):
+    return QueueWorkload(thread_id=0, seed=seed, init_ops=init_ops, sim_ops=sim_ops)
+
+
+def test_generate_produces_expected_tx_count():
+    wl = make()
+    trace = wl.generate()
+    assert trace.transaction_count() == 30
+    trace.validate()
+
+
+def test_invariants_hold_after_run():
+    wl = make(sim_ops=100)
+    wl.generate()
+    wl.check_invariants()
+
+
+def test_deterministic_for_same_seed():
+    a, b = make(seed=9), make(seed=9)
+    ta, tb = a.generate(), b.generate()
+    assert [len(tx.body) for tx in ta.transactions()] == [
+        len(tx.body) for tx in tb.transactions()
+    ]
+
+
+def test_different_seeds_differ():
+    ta = make(seed=1, sim_ops=50).generate()
+    tb = make(seed=2, sim_ops=50).generate()
+    assert [len(tx.body) for tx in ta.transactions()] != [
+        len(tx.body) for tx in tb.transactions()
+    ]
+
+
+def test_initial_state_in_golden_image():
+    wl = make()
+    wl.generate()
+    for queue in wl.queues:
+        head = wl.golden.get(queue.header + HEAD_OFF, 0)
+        length = wl.golden.get(queue.header + LEN_OFF, 0)
+        assert length == len(queue.nodes)
+        if queue.nodes:
+            assert head == queue.nodes[0]
+
+
+def test_fifo_links_intact():
+    wl = make(sim_ops=200)
+    wl.generate()
+    for queue in wl.queues:
+        for i in range(len(queue.nodes) - 1):
+            assert wl.golden[queue.nodes[i] + NEXT_OFF] == queue.nodes[i + 1]
+
+
+def test_txids_unique_and_increasing():
+    trace = make(sim_ops=25).generate()
+    txids = [tx.txid for tx in trace.transactions()]
+    assert txids == sorted(txids)
+    assert len(set(txids)) == len(txids)
+
+
+def test_warm_lines_cover_initial_structures():
+    wl = make()
+    trace = wl.generate()
+    warm = set(trace.warm_lines)
+    for queue in wl.queues:
+        assert queue.header & ~63 in warm
+
+
+def test_think_time_emitted_between_txs():
+    wl = make(sim_ops=5)
+    trace = wl.generate()
+    from repro.isa.ops import Op
+
+    bare = [item for item in trace.items if isinstance(item, Op)]
+    assert len(bare) == 5
+    assert all(op.amount == wl.think_instructions for op in bare)

@@ -1,0 +1,54 @@
+"""Tests for the string-swap (SS) workload."""
+
+import pytest
+
+from repro.workloads.stringswap_wl import LINES_PER_STRING, STRING_BYTES, StringSwapWorkload
+
+
+def make(seed=5, init_ops=64, sim_ops=30):
+    return StringSwapWorkload(thread_id=0, seed=seed, init_ops=init_ops, sim_ops=sim_ops)
+
+
+def test_generate_and_invariants():
+    wl = make(sim_ops=100)
+    trace = wl.generate()
+    assert trace.transaction_count() == 100
+    wl.check_invariants()
+    trace.validate()
+
+
+def test_contents_remain_a_permutation():
+    wl = make(sim_ops=200)
+    wl.generate()
+    assert sorted(wl.contents) == list(range(wl.num_items))
+
+
+def test_swap_writes_both_strings_fully():
+    wl = make(sim_ops=1)
+    trace = wl.generate()
+    tx = next(trace.transactions())
+    # Two strings x 256 B at 8 B per store.
+    assert len(tx.writes()) == 2 * STRING_BYTES // 8
+    assert len(tx.written_lines()) == 2 * LINES_PER_STRING
+
+
+def test_log_candidates_cover_both_strings():
+    wl = make(sim_ops=1)
+    trace = wl.generate()
+    tx = next(trace.transactions())
+    assert len(tx.log_candidates) == 2
+    assert all(size == STRING_BYTES for _, size in tx.log_candidates)
+
+
+def test_slot_addresses_disjoint():
+    wl = make()
+    wl.setup()
+    a = wl.slot_addr(0)
+    b = wl.slot_addr(1)
+    assert b - a == STRING_BYTES
+
+
+def test_minimum_two_items():
+    wl = StringSwapWorkload(thread_id=0, seed=1, init_ops=1, sim_ops=2)
+    wl.generate()  # must not raise (needs at least two slots to swap)
+    assert wl.num_items >= 2

@@ -1,0 +1,93 @@
+"""Tests for the three tree workloads (AT, BT, RT).
+
+The structural invariant checkers are the heart of these tests: they
+validate the real AVL / 2-3-4 B-tree / red-black algorithms after
+hundreds of randomized insert/delete transactions, and check the golden
+memory image stays consistent with the in-memory mirrors.
+"""
+
+import pytest
+
+from repro.workloads.avltree_wl import AvlTreeWorkload
+from repro.workloads.btree_wl import BTreeWorkload
+from repro.workloads.rbtree_wl import RbTreeWorkload
+
+TREES = [AvlTreeWorkload, BTreeWorkload, RbTreeWorkload]
+
+
+@pytest.mark.parametrize("cls", TREES)
+def test_invariants_after_mixed_ops(cls):
+    wl = cls(thread_id=0, seed=13, init_ops=300, sim_ops=250)
+    trace = wl.generate()
+    assert trace.transaction_count() == 250
+    wl.check_invariants()
+    trace.validate()
+
+
+@pytest.mark.parametrize("cls", TREES)
+def test_determinism(cls):
+    a = cls(thread_id=0, seed=21, init_ops=100, sim_ops=60).generate()
+    b = cls(thread_id=0, seed=21, init_ops=100, sim_ops=60).generate()
+    assert [len(tx.body) for tx in a.transactions()] == [
+        len(tx.body) for tx in b.transactions()
+    ]
+
+
+@pytest.mark.parametrize("cls", TREES)
+def test_traversal_reads_are_chained(cls):
+    wl = cls(thread_id=0, seed=3, init_ops=200, sim_ops=40)
+    trace = wl.generate()
+    chained = sum(
+        1 for tx in trace.transactions() for op in tx.reads() if op.chained
+    )
+    assert chained > 0
+
+
+@pytest.mark.parametrize("cls", TREES)
+def test_conservative_candidates_exceed_writes(cls):
+    """Software logging candidates must be a superset of — and on average
+    strictly larger than — the lines actually written (the paper's
+    conservative-logging effect on trees)."""
+    wl = cls(thread_id=0, seed=3, init_ops=400, sim_ops=60)
+    trace = wl.generate()
+    candidate_lines = 0
+    written_lines = 0
+    for tx in trace.transactions():
+        candidate_lines += len(tx.log_candidates)
+        written_lines += len(tx.written_lines())
+    assert candidate_lines > written_lines
+
+
+@pytest.mark.parametrize("cls", TREES)
+def test_deletes_shrink_structure(cls):
+    wl = cls(thread_id=0, seed=17, init_ops=200, sim_ops=300)
+    wl.generate()
+    total = sum(len(keys) for keys in wl.keys)
+    # Random 50/50 insert/delete keeps the population near its start.
+    assert total < 200 + 300
+
+
+def test_avl_height_is_logarithmic():
+    wl = AvlTreeWorkload(thread_id=0, seed=5, init_ops=2000, sim_ops=0)
+    wl.setup()
+    import math
+
+    for root, keys in zip(wl.roots, wl.keys):
+        if root is None:
+            continue
+        n = len(keys)
+        if n > 2:
+            assert root.height <= 1.45 * math.log2(n + 2)
+
+
+def test_btree_node_fits_64_bytes():
+    from repro.workloads.btree_wl import MAX_KEYS
+
+    # count + 3 keys + 4 children = 8 words = 64 bytes.
+    assert (1 + MAX_KEYS + MAX_KEYS + 1) * 8 == 64
+
+
+def test_rbtree_root_black_after_churn():
+    wl = RbTreeWorkload(thread_id=0, seed=7, init_ops=150, sim_ops=200)
+    wl.generate()
+    wl.check_invariants()  # includes root-black + black-height checks
