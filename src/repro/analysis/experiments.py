@@ -189,11 +189,13 @@ FIG6_PAPER = {
 
 
 def fig6_speedup_nvm(
-    threads: int = DEFAULT_THREADS, scale: Optional[float] = None
+    threads: int = DEFAULT_THREADS,
+    scale: Optional[float] = None,
+    seed: int = DEFAULT_SEED,
 ) -> EvaluationResult:
     """Figure 6: speedup over PMEM software logging on fast NVM."""
     config = fast_nvm_config(cores=threads)
-    results = run_evaluation(config, threads=threads, scale=scale)
+    results = run_evaluation(config, threads=threads, scale=scale, seed=seed)
     benchmarks = list(BENCHMARK_ORDER)
     rows = _speedup_rows(results, FIGURE_ORDER, benchmarks)
     measured = {str(s): rows[str(s)][-1] for s in FIGURE_ORDER if str(s) in rows}
@@ -218,12 +220,16 @@ FIG7_PAPER = {
 
 
 def fig7_frontend_stalls(
-    threads: int = DEFAULT_THREADS, scale: Optional[float] = None
+    threads: int = DEFAULT_THREADS,
+    scale: Optional[float] = None,
+    seed: int = DEFAULT_SEED,
 ) -> EvaluationResult:
     """Figure 7: front-end stall cycles normalized to PMEM+nolog."""
     config = fast_nvm_config(cores=threads)
     schemes = (Scheme.ATOM, Scheme.PROTEUS, Scheme.PMEM_NOLOG)
-    results = run_evaluation(config, schemes=schemes, threads=threads, scale=scale)
+    results = run_evaluation(
+        config, schemes=schemes, threads=threads, scale=scale, seed=seed
+    )
     benchmarks = list(BENCHMARK_ORDER)
     rows: Dict[str, List[float]] = {}
     for scheme in (Scheme.ATOM, Scheme.PROTEUS):
@@ -261,11 +267,13 @@ FIG8_PAPER = {
 
 
 def fig8_nvm_writes(
-    threads: int = DEFAULT_THREADS, scale: Optional[float] = None
+    threads: int = DEFAULT_THREADS,
+    scale: Optional[float] = None,
+    seed: int = DEFAULT_SEED,
 ) -> EvaluationResult:
     """Figure 8: NVMM writes normalized to PMEM+nolog."""
     config = fast_nvm_config(cores=threads)
-    results = run_evaluation(config, threads=threads, scale=scale)
+    results = run_evaluation(config, threads=threads, scale=scale, seed=seed)
     benchmarks = list(BENCHMARK_ORDER)
     rows: Dict[str, List[float]] = {}
     for scheme in (Scheme.PMEM, Scheme.ATOM, Scheme.PROTEUS_NOLWR, Scheme.PROTEUS):
@@ -305,9 +313,12 @@ def _latency_sensitivity(
     paper: Dict[str, float],
     threads: int,
     scale: Optional[float],
+    seed: int = DEFAULT_SEED,
 ) -> EvaluationResult:
     schemes = (Scheme.PMEM_PCOMMIT, Scheme.ATOM, Scheme.PROTEUS, Scheme.PMEM_NOLOG)
-    results = run_evaluation(config, schemes=schemes, threads=threads, scale=scale)
+    results = run_evaluation(
+        config, schemes=schemes, threads=threads, scale=scale, seed=seed
+    )
     benchmarks = list(BENCHMARK_ORDER)
     rows = _speedup_rows(results, schemes, benchmarks)
     measured = {
@@ -325,7 +336,9 @@ def _latency_sensitivity(
 
 
 def fig9_slow_nvm(
-    threads: int = DEFAULT_THREADS, scale: Optional[float] = None
+    threads: int = DEFAULT_THREADS,
+    scale: Optional[float] = None,
+    seed: int = DEFAULT_SEED,
 ) -> EvaluationResult:
     """Figure 9: speedup on slow NVM (300 ns writes)."""
     return _latency_sensitivity(
@@ -334,11 +347,14 @@ def fig9_slow_nvm(
         FIG9_PAPER,
         threads,
         scale,
+        seed=seed,
     )
 
 
 def fig10_dram(
-    threads: int = DEFAULT_THREADS, scale: Optional[float] = None
+    threads: int = DEFAULT_THREADS,
+    scale: Optional[float] = None,
+    seed: int = DEFAULT_SEED,
 ) -> EvaluationResult:
     """Figure 10: speedup on battery-backed DRAM."""
     return _latency_sensitivity(
@@ -347,6 +363,7 @@ def fig10_dram(
         FIG10_PAPER,
         threads,
         scale,
+        seed=seed,
     )
 
 
@@ -362,6 +379,7 @@ def fig11_logq_sweep(
     sizes: Sequence[int] = FIG11_SIZES,
     threads: int = DEFAULT_THREADS,
     scale: Optional[float] = None,
+    seed: int = DEFAULT_SEED,
 ) -> EvaluationResult:
     """Figure 11: Proteus speedup vs LogQ size."""
     scale = _env_scale() if scale is None else scale
@@ -369,14 +387,14 @@ def fig11_logq_sweep(
     rows: Dict[str, List[float]] = {}
     base_config = fast_nvm_config(cores=threads)
     baselines = {
-        name: run_cached(name, BASELINE, base_config, threads, scale)
+        name: run_cached(name, BASELINE, base_config, threads, scale, seed)
         for name in benchmarks
     }
     for size in sizes:
         config = base_config.with_proteus(logq_entries=size)
         values = []
         for name in benchmarks:
-            result = run_cached(name, Scheme.PROTEUS, config, threads, scale)
+            result = run_cached(name, Scheme.PROTEUS, config, threads, scale, seed)
             values.append(baselines[name].cycles / result.cycles)
         values.append(geometric_mean(values))
         rows[f"LogQ={size}"] = values
@@ -405,6 +423,7 @@ def fig12_lpq_sweep(
     sizes: Sequence[int] = FIG12_SIZES,
     threads: int = DEFAULT_THREADS,
     scale: Optional[float] = None,
+    seed: int = DEFAULT_SEED,
 ) -> EvaluationResult:
     """Figure 12: Proteus speedup vs LPQ size (LogQ fixed at 16)."""
     scale = _env_scale() if scale is None else scale
@@ -412,14 +431,14 @@ def fig12_lpq_sweep(
     rows: Dict[str, List[float]] = {}
     base_config = fast_nvm_config(cores=threads)
     baselines = {
-        name: run_cached(name, BASELINE, base_config, threads, scale)
+        name: run_cached(name, BASELINE, base_config, threads, scale, seed)
         for name in benchmarks
     }
     for size in sizes:
         config = base_config.with_proteus(lpq_entries=size, logq_entries=16)
         values = []
         for name in benchmarks:
-            result = run_cached(name, Scheme.PROTEUS, config, threads, scale)
+            result = run_cached(name, Scheme.PROTEUS, config, threads, scale, seed)
             values.append(baselines[name].cycles / result.cycles)
         values.append(geometric_mean(values))
         rows[f"LPQ={size}"] = values
@@ -457,6 +476,7 @@ def table3_large_transactions(
     scale: Optional[float] = None,
     nodes: int = 16,
     transactions: int = 4,
+    seed: int = DEFAULT_SEED,
 ) -> EvaluationResult:
     """Table 3: Proteus vs ideal on variable-size large transactions."""
     scale = _env_scale() if scale is None else scale
@@ -470,7 +490,7 @@ def table3_large_transactions(
         traces = generate_traces(
             LinkedListWorkload,
             threads=threads,
-            seed=DEFAULT_SEED,
+            seed=seed,
             init_ops=nodes,
             sim_ops=transactions,
             elements_per_node=elements,
@@ -524,7 +544,9 @@ TABLE4_PAPER = {
 
 
 def table4_llt_miss_rate(
-    threads: int = DEFAULT_THREADS, scale: Optional[float] = None
+    threads: int = DEFAULT_THREADS,
+    scale: Optional[float] = None,
+    seed: int = DEFAULT_SEED,
 ) -> EvaluationResult:
     """Table 4: LLT miss rate (%) per benchmark under Proteus."""
     scale = _env_scale() if scale is None else scale
@@ -532,7 +554,7 @@ def table4_llt_miss_rate(
     benchmarks = list(TABLE4_PAPER)
     values = []
     for name in benchmarks:
-        result = run_cached(name, Scheme.PROTEUS, config, threads, scale)
+        result = run_cached(name, Scheme.PROTEUS, config, threads, scale, seed)
         values.append(100.0 * result.stats.llt_miss_rate())
     rows = {"miss rate %": values}
     measured = dict(zip(benchmarks, values))

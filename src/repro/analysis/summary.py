@@ -28,7 +28,9 @@ ALL_EXPERIMENTS: List[Tuple[str, Callable]] = [
 
 
 def run_all(
-    threads: int = 4, scale: Optional[float] = None
+    threads: int = 4,
+    scale: Optional[float] = None,
+    seed: Optional[int] = None,
 ) -> Dict[str, "experiments.EvaluationResult"]:
     """Run the whole evaluation; results share the per-process cache."""
     results = {}
@@ -38,6 +40,8 @@ def run_all(
             kwargs["threads"] = threads
         if scale is not None:
             kwargs["scale"] = scale
+        if seed is not None:
+            kwargs["seed"] = seed
         results[name] = function(**kwargs)
     return results
 
@@ -59,10 +63,13 @@ def scorecard(results: Dict[str, "experiments.EvaluationResult"]) -> str:
 
 
 def full_report(
-    threads: int = 4, scale: Optional[float] = None, bars: bool = True
+    threads: int = 4,
+    scale: Optional[float] = None,
+    bars: bool = True,
+    seed: Optional[int] = None,
 ) -> str:
     """Run everything and render the combined report."""
-    results = run_all(threads=threads, scale=scale)
+    results = run_all(threads=threads, scale=scale, seed=seed)
     sections = []
     for name, result in results.items():
         sections.append(result.report())

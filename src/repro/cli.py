@@ -5,14 +5,22 @@ Subcommands:
 * ``run`` — simulate one benchmark under one scheme and print stats.
 * ``compare`` — run every scheme on one benchmark (mini Figure 6/8).
 * ``experiment`` — regenerate one of the paper's figures/tables.
-* ``crash`` — crash-inject a workload and verify recovery atomicity.
+* ``crash`` — crash-inject the *functional* model and verify recovery.
+* ``faults`` — crash the *timing* simulator mid-flight (seeded campaign
+  over cycle/trigger crash points, optionally with injected memory
+  faults) and verify recovery from real microarchitectural state.
 
 Examples::
 
     python -m repro run --benchmark QE --scheme Proteus --ops 40
     python -m repro compare --benchmark AT --threads 2
-    python -m repro experiment fig6 --threads 2 --scale 0.25
+    python -m repro experiment fig6 --threads 2 --scale 0.25 --seed 7
     python -m repro crash --benchmark HM --crashes 100 --scheme ATOM
+    python -m repro faults --scheme proteus --workload btree --crashes 200 --seed 7
+
+Scheme and workload names are forgiving: ``sw``/``pmem``, ``atom``,
+``proteus``, ``btree``/``BT``, ``queue``/``QE``, … — an unknown name
+exits with status 2 and the list of valid choices.
 """
 
 from __future__ import annotations
@@ -48,7 +56,10 @@ EXPERIMENTS = {
 
 
 def _add_workload_args(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--benchmark", default="QE", choices=sorted(WORKLOADS))
+    parser.add_argument(
+        "--benchmark", "--workload", dest="benchmark", default="QE",
+        help="paper code (QE/HM/SS/AT/BT/RT) or friendly name (queue, btree, ...)",
+    )
     parser.add_argument("--threads", type=int, default=1)
     parser.add_argument("--ops", type=int, default=30)
     parser.add_argument("--init", type=int, default=1000)
@@ -56,9 +67,15 @@ def _add_workload_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--memory", default="fast-nvm", choices=sorted(CONFIGS))
 
 
+def _workload_cls(args):
+    from repro.faults.campaign import resolve_workload
+
+    return resolve_workload(args.benchmark)
+
+
 def _traces(args):
     return generate_traces(
-        WORKLOADS[args.benchmark],
+        _workload_cls(args),
         threads=args.threads,
         seed=args.seed,
         init_ops=args.init,
@@ -71,9 +88,9 @@ def _config(args):
 
 
 def cmd_run(args) -> int:
-    scheme = Scheme(args.scheme)
+    scheme = Scheme.parse(args.scheme)
     result = run_trace(_traces(args), scheme, _config(args))
-    print(f"{args.benchmark} under {scheme} on {args.memory}:")
+    print(f"{_workload_cls(args).name} under {scheme} on {args.memory}:")
     print(f"  cycles:        {result.cycles:,}")
     print(f"  instructions:  {result.stats.instructions():,}")
     print(f"  IPC:           {result.ipc:.2f}")
@@ -93,7 +110,7 @@ def cmd_compare(args) -> int:
     results = {scheme: run_trace(traces, scheme, config) for scheme in Scheme}
     base = results[BASELINE]
     ideal_writes = max(1, results[Scheme.PMEM_NOLOG].nvm_writes)
-    print(f"{args.benchmark} on {args.memory} "
+    print(f"{_workload_cls(args).name} on {args.memory} "
           f"({args.threads} threads x {args.ops} transactions):")
     print(f"  {'scheme':15s} {'cycles':>10s} {'speedup':>8s} {'writes':>8s} {'vs ideal':>9s}")
     for scheme, result in results.items():
@@ -109,7 +126,7 @@ def cmd_experiment(args) -> int:
     if args.name == "all":
         from repro.analysis.summary import full_report
 
-        print(full_report(threads=args.threads, scale=args.scale))
+        print(full_report(threads=args.threads, scale=args.scale, seed=args.seed))
         return 0
     function = getattr(analysis, EXPERIMENTS[args.name])
     kwargs = {}
@@ -117,6 +134,8 @@ def cmd_experiment(args) -> int:
         kwargs["threads"] = args.threads
     if args.scale is not None:
         kwargs["scale"] = args.scale
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
     result = function(**kwargs)
     print(result.report())
     return 0
@@ -127,11 +146,11 @@ def cmd_crash(args) -> int:
     from repro.persistence.crash import CrashPoint, Phase
     from repro.persistence.recovery import verify_atomicity
 
-    scheme = Scheme(args.scheme)
+    scheme = Scheme.parse(args.scheme)
     if not scheme.failure_safe:
         print(f"{scheme} is not failure safe; nothing to verify", file=sys.stderr)
         return 2
-    workload = WORKLOADS[args.benchmark](
+    workload = _workload_cls(args)(
         thread_id=0, seed=args.seed, init_ops=args.init, sim_ops=args.ops
     )
     trace = workload.generate()
@@ -157,6 +176,32 @@ def cmd_crash(args) -> int:
     return 0
 
 
+def cmd_faults(args) -> int:
+    from repro.faults import run_campaign
+
+    result = run_campaign(
+        args.scheme,
+        args.benchmark,
+        crashes=args.crashes,
+        seed=args.seed,
+        threads=args.threads,
+        mode=args.faults,
+        init_ops=args.init,
+        sim_ops=args.ops,
+        think_instructions=args.think,
+    )
+    report = result.report()
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(report)
+        print(f"wrote {args.out}")
+    print(report if args.verbose else report.splitlines()[0])
+    for line in report.splitlines()[1:3]:
+        if not args.verbose:
+            print(line)
+    return 0 if result.passed else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Proteus NVM logging reproduction"
@@ -165,8 +210,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     run_parser = subparsers.add_parser("run", help="simulate one scheme")
     _add_workload_args(run_parser)
-    run_parser.add_argument("--scheme", default="Proteus",
-                            choices=[s.value for s in Scheme])
+    run_parser.add_argument("--scheme", default="Proteus")
     run_parser.add_argument("--verbose", action="store_true")
     run_parser.set_defaults(func=cmd_run)
 
@@ -180,21 +224,56 @@ def build_parser() -> argparse.ArgumentParser:
     experiment_parser.add_argument("name", choices=sorted(EXPERIMENTS) + ["all"])
     experiment_parser.add_argument("--threads", type=int, default=4)
     experiment_parser.add_argument("--scale", type=float, default=None)
+    experiment_parser.add_argument("--seed", type=int, default=None)
     experiment_parser.set_defaults(func=cmd_experiment)
 
     crash_parser = subparsers.add_parser("crash", help="crash/recovery check")
     _add_workload_args(crash_parser)
-    crash_parser.add_argument("--scheme", default="Proteus",
-                              choices=[s.value for s in Scheme if s.failure_safe])
+    crash_parser.add_argument("--scheme", default="Proteus")
     crash_parser.add_argument("--crashes", type=int, default=100)
     crash_parser.set_defaults(func=cmd_crash)
+
+    faults_parser = subparsers.add_parser(
+        "faults",
+        help="seeded crash campaign against the timing simulator",
+    )
+    from repro.faults.campaign import FAULT_MODES
+
+    faults_parser.add_argument("--scheme", default="proteus")
+    faults_parser.add_argument(
+        "--workload", "--benchmark", dest="benchmark", default="queue",
+        help="paper code (QE/BT/...) or friendly name (queue, btree, ...)",
+    )
+    faults_parser.add_argument("--crashes", type=int, default=200)
+    faults_parser.add_argument("--seed", type=int, default=7)
+    faults_parser.add_argument("--threads", type=int, default=1)
+    faults_parser.add_argument("--ops", type=int, default=4)
+    faults_parser.add_argument("--init", type=int, default=12)
+    faults_parser.add_argument(
+        "--think", type=int, default=0,
+        help="compute instructions between transactions",
+    )
+    faults_parser.add_argument(
+        "--faults", default="none", choices=FAULT_MODES,
+        help="memory-fault mode injected alongside the crashes",
+    )
+    faults_parser.add_argument("--out", default=None,
+                               help="write the full report to this file")
+    faults_parser.add_argument("--verbose", action="store_true",
+                               help="print the per-case report")
+    faults_parser.set_defaults(func=cmd_faults)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ValueError as err:
+        # Unknown scheme/workload/mode: a clean diagnostic, not a traceback.
+        print(f"error: {err}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

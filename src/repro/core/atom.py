@@ -59,6 +59,9 @@ class AtomAdapter(LoggingAdapter):
         self._logged_lines: Set[int] = set()
         self._log_slots: List[int] = []
         self._request_outstanding = False
+        #: optional fault-injection hooks (same interface as the Proteus
+        #: adapter's): log-slot assignment and durability acknowledgments.
+        self.fault_hooks = None
 
     # -- retirement-time logging ------------------------------------------------
 
@@ -85,14 +88,20 @@ class AtomAdapter(LoggingAdapter):
         return True
 
     def _send_log(self, dyn: DynInstr, line: int, slot: int) -> None:
+        if self.fault_hooks is not None:
+            self.fault_hooks.on_log_resolved(
+                self.core_id, self.current_txid, slot, line
+            )
         self.memctrl.submit_log(
             slot,
             thread_id=self.core_id,
             txid=self.current_txid,
-            on_durable=lambda: self._log_acked(dyn, line),
+            on_durable=lambda: self._log_acked(dyn, line, slot),
         )
 
-    def _log_acked(self, dyn: DynInstr, line: int) -> None:
+    def _log_acked(self, dyn: DynInstr, line: int, slot: int) -> None:
+        if self.fault_hooks is not None:
+            self.fault_hooks.on_log_durable(self.core_id, slot)
         dyn.log_acked = True
         self._logged_lines.add(line)
         self._request_outstanding = False

@@ -17,7 +17,7 @@ stale entry for "already logged".
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 from repro.isa.instructions import LOG_GRAIN
 from repro.sim.stats import Stats
@@ -38,6 +38,9 @@ class LogLookupTable:
         self._sets: List["OrderedDict[int, None]"] = [
             OrderedDict() for _ in range(self.num_sets)
         ]
+        #: optional callback fired with the evicted block address (fault
+        #: injection uses LLT evictions as a named crash trigger).
+        self.on_evict: Optional[Callable[[int], None]] = None
 
     def _set_for(self, block_addr: int) -> "OrderedDict[int, None]":
         return self._sets[(block_addr // LOG_GRAIN) % self.num_sets]
@@ -62,8 +65,10 @@ class LogLookupTable:
             return True
         self.stats.add("llt.misses")
         if len(llt_set) >= self.ways:
-            llt_set.popitem(last=False)
+            evicted, _ = llt_set.popitem(last=False)
             self.stats.add("llt.evictions")
+            if self.on_evict is not None:
+                self.on_evict(evicted)
         llt_set[block] = None
         return False
 

@@ -101,3 +101,8 @@ class LogArea:
     def entries_used_by_current_tx(self) -> int:
         """Entries allocated since :meth:`begin_transaction`."""
         return self._tx_entries
+
+    def snapshot(self) -> dict:
+        """LTA register state for a crash capture: the cur-log cursor and
+        the in-flight transaction's allocation count."""
+        return {"cur": self.cur, "tx_entries": self._tx_entries}

@@ -130,3 +130,14 @@ class LogQueue:
     def pending_entries(self) -> List[LogQEntry]:
         """Snapshot of in-flight entries (tests and debugging)."""
         return list(self._entries)
+
+    def snapshot(self) -> Dict[str, int]:
+        """Occupancy summary for a crash capture.
+
+        Entries still in the LogQ at a crash are *lost* — their flushes
+        were never acknowledged by the persistency domain — so the count
+        bounds how many of the in-flight transaction's log entries can be
+        missing from the durable image.
+        """
+        resolved = sum(1 for entry in self._entries if entry.log_to is not None)
+        return {"occupancy": len(self._entries), "resolved": resolved}

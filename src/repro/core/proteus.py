@@ -67,6 +67,10 @@ class ProteusAdapter(LoggingAdapter):
         self.current_txid = 0
         self._loads: Dict[int, _LoadInfo] = {}
         self._awaiting_resolution: List[DynInstr] = []
+        #: optional fault-injection hooks: ``on_log_resolved(core, txid,
+        #: log_to, log_from)`` at LTA assignment and ``on_log_durable(core,
+        #: log_to)`` at the LPQ/WPQ admission acknowledgment.
+        self.fault_hooks = None
 
     # -- dispatch --------------------------------------------------------------
 
@@ -149,6 +153,10 @@ class ProteusAdapter(LoggingAdapter):
         log_to = self.log_area.next_slot()
         self.logq.resolve(entry, log_to)
         self.stats.add("proteus.flushes_issued")
+        if self.fault_hooks is not None:
+            self.fault_hooks.on_log_resolved(
+                self.core_id, entry.txid, log_to, entry.log_from
+            )
         self.memctrl.submit_log(
             log_to,
             thread_id=self.core_id,
@@ -170,6 +178,8 @@ class ProteusAdapter(LoggingAdapter):
                     break
 
     def _flush_acked(self, dyn: DynInstr) -> None:
+        if self.fault_hooks is not None:
+            self.fault_hooks.on_log_durable(self.core_id, dyn.logq_entry.log_to)
         self.logq.complete(dyn.logq_entry)
         self.core.complete_after(dyn, 0)
 

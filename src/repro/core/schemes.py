@@ -40,6 +40,26 @@ class Scheme(enum.Enum):
     def __str__(self) -> str:
         return self.value
 
+    @classmethod
+    def parse(cls, name) -> "Scheme":
+        """Resolve a scheme from a user-supplied name.
+
+        Accepts enum names, figure labels and common aliases, case
+        insensitively (``sw``/``pmem`` → PMEM, ``atom`` → ATOM,
+        ``proteus`` → PROTEUS, …).  Raises a :class:`ValueError` listing
+        the valid choices for anything else.
+        """
+        if isinstance(name, cls):
+            return name
+        key = str(name).strip().lower().replace("-", "+").replace("_", "+")
+        match = _SCHEME_ALIASES.get(key)
+        if match is None:
+            raise ValueError(
+                f"unknown scheme {name!r}; choose one of "
+                f"{', '.join(sorted(set(_SCHEME_ALIASES)))}"
+            )
+        return match
+
     @property
     def is_software(self) -> bool:
         """True for schemes whose logging is instruction-level software."""
@@ -80,6 +100,25 @@ class Scheme(enum.Enum):
     def log_write_removal(self) -> bool:
         """True when committed log entries are flash cleared at the MC."""
         return self is Scheme.PROTEUS
+
+
+#: Accepted spellings for :meth:`Scheme.parse` (keys are lowercase with
+#: ``-``/``_`` normalized to ``+``).
+_SCHEME_ALIASES = {
+    "pmem": Scheme.PMEM,
+    "sw": Scheme.PMEM,
+    "software": Scheme.PMEM,
+    "pmem+pcommit": Scheme.PMEM_PCOMMIT,
+    "pcommit": Scheme.PMEM_PCOMMIT,
+    "pmem+nolog": Scheme.PMEM_NOLOG,
+    "nolog": Scheme.PMEM_NOLOG,
+    "pmem+strict": Scheme.PMEM_STRICT,
+    "strict": Scheme.PMEM_STRICT,
+    "atom": Scheme.ATOM,
+    "proteus": Scheme.PROTEUS,
+    "proteus+nolwr": Scheme.PROTEUS_NOLWR,
+    "nolwr": Scheme.PROTEUS_NOLWR,
+}
 
 
 #: Presentation order used by every figure in the paper.

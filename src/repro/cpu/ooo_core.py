@@ -118,6 +118,9 @@ class OooCore:
         self._mshr_used = 0
         self._mshr_waiters: List[DynInstr] = []
         self._progress = False
+        #: optional fault-injection observer with ``on_retire(core, dyn)``,
+        #: called after the adapter's own retirement bookkeeping.
+        self.retire_observer = None
 
     # -- public driver ----------------------------------------------------------
 
@@ -305,6 +308,8 @@ class OooCore:
                 self.pending_pcommits += 1
                 self.memctrl.notify_when_persistent(self._pcommit_done)
             self.adapter.on_retire(dyn)
+            if self.retire_observer is not None:
+                self.retire_observer.on_retire(self.core_id, dyn)
             self.stats.add("retired_instructions")
             retired += 1
         if retired:

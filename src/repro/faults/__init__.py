@@ -1,0 +1,48 @@
+"""Cycle-level fault injection for the timing simulator.
+
+The :mod:`repro.persistence` package enumerates *abstract* durable
+subsets over functional traces; this package crashes the *real* timing
+machine instead.  A seeded :class:`FaultPlan` kills the simulation at an
+arbitrary cycle or at a named microarchitectural trigger (Nth WPQ drain,
+LPQ flash clear, LLT eviction, fence retirement) and can additionally
+inject memory-system faults — dropped or reordered WPQ drains, torn
+cache-line writes, stuck NVM banks with bounded retry/backoff.
+
+At the crash, the :class:`DurabilityTracker` has observed every
+durability event the machine produced (WPQ/LPQ admissions, log-flush
+acknowledgments, commit-point retirements); the harness converts that
+microarchitectural state into a :class:`~repro.persistence.crash.CrashImage`
+via ``CrashImage.from_machine_state``, runs the scheme's recovery, and
+checks atomicity against the functional reference.
+
+:func:`run_campaign` sweeps many crash points over one workload run and
+produces a deterministic, byte-reproducible report
+(``python -m repro faults --scheme proteus --workload btree --crashes 200
+--seed 7``).
+"""
+
+from repro.faults.campaign import CampaignResult, FAULT_MODES, run_campaign
+from repro.faults.harness import (
+    CrashCaseResult,
+    FaultInjector,
+    MachineState,
+    run_crash_case,
+)
+from repro.faults.plan import FaultPlan, StuckBankFault, TRIGGER_KINDS, Trigger
+from repro.faults.tracker import DurabilityTracker, ThreadFunctional
+
+__all__ = [
+    "CampaignResult",
+    "CrashCaseResult",
+    "DurabilityTracker",
+    "FAULT_MODES",
+    "FaultInjector",
+    "FaultPlan",
+    "MachineState",
+    "StuckBankFault",
+    "TRIGGER_KINDS",
+    "ThreadFunctional",
+    "Trigger",
+    "run_campaign",
+    "run_crash_case",
+]

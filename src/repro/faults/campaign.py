@@ -1,0 +1,297 @@
+"""Seeded crash campaigns.
+
+A campaign sweeps many deterministic crash points over one workload run:
+a clean baseline run first censuses the trigger space (total cycles,
+WPQ-drain/flash-clear/LLT-evict/fence-retire counts, data-drain count),
+then every case derives its :class:`FaultPlan` from a single seeded RNG
+stream — uniform crash cycles interleaved with named microarchitectural
+triggers, plus the mode's injected faults.  The same seed therefore
+reproduces the same report byte for byte.
+
+Fault modes:
+
+* ``none`` — crash only; every failure-safe scheme must recover to a
+  transaction boundary at every crash point.
+* ``reorder`` / ``stuck`` — durability-preserving perturbations (drain
+  deferral, stuck NVM banks with bounded retry/backoff); recovery must
+  still stay clean.
+* ``drop-log`` / ``drop-flag`` / ``drop-data`` / ``torn`` — durability
+  violations; the campaign passes when recovery checking *detects* them
+  (records at least one inconsistency).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from repro.core.schemes import Scheme
+from repro.faults.harness import CrashCaseResult, run_crash_case
+from repro.faults.plan import FaultPlan, StuckBankFault, Trigger
+from repro.faults.tracker import ThreadFunctional
+from repro.sim.config import SystemConfig, fast_nvm_config
+from repro.workloads import WORKLOADS
+from repro.workloads.base import generate_traces
+
+#: Campaign fault modes (see module docstring).
+FAULT_MODES = (
+    "none",
+    "drop-log",
+    "drop-flag",
+    "drop-data",
+    "torn",
+    "reorder",
+    "stuck",
+)
+
+#: Modes that must never produce an inconsistency.
+CLEAN_MODES = ("none", "reorder", "stuck")
+
+#: Friendly CLI spellings for the paper's workload abbreviations.
+WORKLOAD_ALIASES = {
+    "queue": "QE",
+    "hashmap": "HM",
+    "stringswap": "SS",
+    "avltree": "AT",
+    "avl": "AT",
+    "btree": "BT",
+    "rbtree": "RT",
+}
+
+
+def resolve_workload(name) -> type:
+    """Workload class from a paper code or a friendly name."""
+    if isinstance(name, type):
+        return name
+    key = str(name).strip()
+    code = WORKLOAD_ALIASES.get(key.lower(), key.upper())
+    try:
+        return WORKLOADS[code]
+    except KeyError:
+        choices = sorted(WORKLOADS) + sorted(WORKLOAD_ALIASES)
+        raise ValueError(
+            f"unknown workload {name!r}; choose one of {', '.join(choices)}"
+        ) from None
+
+
+@dataclass
+class CampaignResult:
+    """Outcome of one (scheme, workload, mode) crash campaign."""
+
+    scheme: Scheme
+    workload: str
+    mode: str
+    seed: int
+    threads: int
+    baseline_cycles: int
+    trigger_counts: Dict[str, int]
+    cases: List[CrashCaseResult] = field(default_factory=list)
+
+    @property
+    def crashes(self) -> int:
+        return len(self.cases)
+
+    @property
+    def consistent(self) -> int:
+        return sum(1 for case in self.cases if case.outcome == "consistent")
+
+    @property
+    def inconsistent(self) -> int:
+        return sum(1 for case in self.cases if case.outcome == "inconsistent")
+
+    @property
+    def completed(self) -> int:
+        return sum(1 for case in self.cases if case.outcome == "completed")
+
+    @property
+    def passed(self) -> bool:
+        """Clean modes must stay clean; violation modes must be caught."""
+        if self.mode in CLEAN_MODES:
+            return self.inconsistent == 0
+        return self.inconsistent >= 1
+
+    def report(self) -> str:
+        """Deterministic text report (no timestamps, no absolute paths)."""
+        lines = [
+            f"fault campaign: scheme={self.scheme} workload={self.workload} "
+            f"mode={self.mode} seed={self.seed} threads={self.threads}",
+            f"baseline: {self.baseline_cycles} cycles, triggers "
+            + " ".join(
+                f"{kind}={count}" for kind, count in sorted(self.trigger_counts.items())
+            ),
+            f"cases: {self.crashes} ({self.consistent} consistent, "
+            f"{self.inconsistent} inconsistent, {self.completed} completed) "
+            f"-> {'PASS' if self.passed else 'FAIL'}",
+        ]
+        for index, case in enumerate(self.cases):
+            crash = case.plan.crash
+            where = crash.describe() if crash is not None else "no-crash"
+            line = (
+                f"  [{index:4d}] {where:<24} cycle={case.machine.cycle:<10} "
+                f"committed={','.join(str(case.machine.committed[t]) for t in sorted(case.machine.committed))} "
+                f"k={','.join(str(k) for k in case.ks)} {case.outcome}"
+            )
+            if case.detail:
+                line += f"  ({case.detail})"
+            lines.append(line)
+        return "\n".join(lines) + "\n"
+
+
+def _make_trigger(rng: random.Random, index: int, total_cycles: int,
+                  counts: Dict[str, int], mode: str) -> Trigger:
+    """Interleave named microarchitectural triggers (when the baseline
+    produced any) with uniform crash cycles.
+
+    The admission-drop modes detect only inside partial-durability
+    windows — between the WPQ admissions of one commit burst — so they
+    crash at named triggers every other case; the others every fourth.
+    """
+    named = [kind for kind, count in sorted(counts.items()) if count > 0]
+    named_every = 2 if mode in ("drop-log", "drop-flag") else 4
+    if named and index % named_every == named_every - 1:
+        kind = named[(index // named_every) % len(named)]
+        return Trigger(kind, rng.randrange(1, counts[kind] + 1))
+    return Trigger("cycle", rng.randrange(1, max(2, total_cycles)))
+
+
+def _pick_drains(rng: random.Random, data_drains: int, how_many: int) -> frozenset:
+    if data_drains <= 0:
+        return frozenset({1})
+    count = min(how_many, data_drains)
+    return frozenset(rng.sample(range(1, data_drains + 1), count))
+
+
+def _make_plan(
+    mode: str,
+    rng: random.Random,
+    trigger: Trigger,
+    data_drains: int,
+    banks: int,
+    total_cycles: int,
+) -> FaultPlan:
+    seed = rng.randrange(1 << 31)
+    if mode == "none":
+        return FaultPlan(seed=seed, crash=trigger)
+    if mode == "drop-log":
+        return FaultPlan(seed=seed, crash=trigger, drop_log_every=1)
+    if mode == "drop-flag":
+        return FaultPlan(seed=seed, crash=trigger, drop_flag_every=rng.choice((1, 2)))
+    if mode == "drop-data":
+        return FaultPlan(
+            seed=seed,
+            crash=trigger,
+            drop_data_drains=_pick_drains(rng, data_drains, rng.randrange(1, 4)),
+        )
+    if mode == "torn":
+        return FaultPlan(
+            seed=seed,
+            crash=trigger,
+            torn_data_drains=_pick_drains(rng, data_drains, rng.randrange(1, 4)),
+        )
+    if mode == "reorder":
+        return FaultPlan(
+            seed=seed,
+            crash=trigger,
+            defer_data_drains=_pick_drains(rng, data_drains, rng.randrange(1, 6)),
+        )
+    if mode == "stuck":
+        start = rng.randrange(0, max(1, total_cycles))
+        return FaultPlan(
+            seed=seed,
+            crash=trigger,
+            stuck_banks=(
+                StuckBankFault(
+                    bank=rng.randrange(banks),
+                    start_cycle=start,
+                    end_cycle=start + rng.randrange(500, 5000),
+                    backoff_cycles=rng.choice((32, 64, 128)),
+                    max_retries=rng.randrange(4, 9),
+                ),
+            ),
+        )
+    raise ValueError(f"unknown fault mode {mode!r}; choose one of {', '.join(FAULT_MODES)}")
+
+
+def run_campaign(
+    scheme: Union[Scheme, str],
+    workload,
+    crashes: int = 100,
+    seed: int = 1,
+    threads: int = 1,
+    mode: str = "none",
+    config: Optional[SystemConfig] = None,
+    max_cycles: int = 500_000_000,
+    **workload_kwargs,
+) -> CampaignResult:
+    """Sweep ``crashes`` planned crash points over one workload run."""
+    scheme = Scheme.parse(scheme)
+    if not scheme.failure_safe:
+        raise ValueError(
+            f"scheme {scheme} is not failure safe; crash campaigns apply to "
+            f"the logging schemes (PMEM, PMEM+pcommit, ATOM, Proteus)"
+        )
+    workload_cls = resolve_workload(workload)
+    if mode not in FAULT_MODES:
+        raise ValueError(
+            f"unknown fault mode {mode!r}; choose one of {', '.join(FAULT_MODES)}"
+        )
+    if config is None:
+        config = fast_nvm_config(cores=max(1, threads))
+
+    traces = generate_traces(
+        workload_cls, threads=threads, seed=seed, **workload_kwargs
+    )
+    models = {
+        trace.thread_id: ThreadFunctional(trace, scheme) for trace in traces
+    }
+
+    # Clean census run: must complete and recover to the final image.
+    baseline = run_crash_case(
+        scheme, traces, models, FaultPlan(seed=seed), config=config,
+        max_cycles=max_cycles,
+    )
+    if baseline.outcome != "completed":
+        raise RuntimeError(
+            f"fault-free baseline did not complete cleanly: "
+            f"{baseline.outcome} ({baseline.detail})"
+        )
+    # Sample crash cycles while the cores are still executing; the final
+    # controller drain tail holds no new durability decisions.
+    total_cycles = baseline.machine.core_finish_cycle or baseline.machine.cycle
+    counts = baseline.machine.trigger_counts
+    data_drains = baseline.machine.data_drains
+
+    rng = random.Random(
+        f"faults:{scheme.value}:{workload_cls.name}:{mode}:{seed}:{threads}"
+    )
+    result = CampaignResult(
+        scheme=scheme,
+        workload=workload_cls.name,
+        mode=mode,
+        seed=seed,
+        threads=threads,
+        baseline_cycles=total_cycles,
+        trigger_counts=dict(counts),
+    )
+    for index in range(crashes):
+        trigger = _make_trigger(rng, index, total_cycles, counts, mode)
+        plan = _make_plan(
+            mode, rng, trigger, data_drains, config.memory.banks, total_cycles
+        )
+        # Manufactured log/flag drops *should* trip the log-before-data
+        # invariant; keep building the image so detection surfaces from
+        # recovery checking rather than image construction.
+        enforce = not (plan.drop_log_every or plan.drop_flag_every)
+        result.cases.append(
+            run_crash_case(
+                scheme,
+                traces,
+                models,
+                plan,
+                config=config,
+                enforce_invariant=enforce,
+                max_cycles=max_cycles,
+            )
+        )
+    return result

@@ -1,0 +1,151 @@
+"""Deterministic fault plans.
+
+A :class:`FaultPlan` is an immutable, seeded description of everything
+that will go wrong during one simulation run: where the machine crashes
+(a :class:`Trigger`) and which memory-system faults are injected along
+the way.  Because the timing engine fires same-cycle events in scheduling
+order and every random choice derives from the plan's seed, a plan
+reproduces the same failure bit-for-bit on every run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional, Tuple
+
+#: Crash trigger taxonomy.
+#:
+#: * ``cycle`` — halt exactly at cycle ``at``.
+#: * ``wpq-drain`` — halt when the ``at``-th WPQ entry is popped for
+#:   dispatch to the device.
+#: * ``wpq-admit`` — halt when the ``at``-th write is admitted to the
+#:   WPQ (the instant it becomes durable under ADR); lands *between* the
+#:   admissions of one commit burst, the narrowest partial-durability
+#:   windows the machine produces.
+#: * ``lpq-flash-clear`` — halt at the ``at``-th LPQ flash clear
+#:   (Proteus commit-time log write removal).
+#: * ``llt-evict`` — halt at the ``at``-th LLT eviction (Proteus only;
+#:   requires transactions large enough to overflow an LLT set).
+#: * ``fence-retire`` — halt when the ``at``-th fence-class instruction
+#:   (``sfence``/``mfence``/``pcommit``/``tx-end``) retires.
+TRIGGER_KINDS = (
+    "cycle",
+    "wpq-drain",
+    "wpq-admit",
+    "lpq-flash-clear",
+    "llt-evict",
+    "fence-retire",
+)
+
+
+@dataclass(frozen=True)
+class Trigger:
+    """When to kill the simulation."""
+
+    kind: str
+    at: int  # cycle number for "cycle", 1-based occurrence count otherwise
+
+    def __post_init__(self) -> None:
+        if self.kind not in TRIGGER_KINDS:
+            raise ValueError(
+                f"unknown trigger kind {self.kind!r}; choose one of "
+                f"{', '.join(TRIGGER_KINDS)}"
+            )
+        if self.at < 1:
+            raise ValueError(f"trigger occurrence/cycle must be >= 1, got {self.at}")
+
+    def describe(self) -> str:
+        if self.kind == "cycle":
+            return f"cycle@{self.at}"
+        return f"{self.kind}#{self.at}"
+
+
+@dataclass(frozen=True)
+class StuckBankFault:
+    """One NVM bank refuses dispatches during a cycle window.
+
+    The memory controller retries with exponential backoff, bounded by
+    ``max_retries``; after that (or once the window closes) the dispatch
+    proceeds.  Durability is never violated — writes are delayed, not
+    lost — so campaigns with only stuck-bank faults must stay clean.
+    """
+
+    bank: int
+    start_cycle: int
+    end_cycle: int
+    backoff_cycles: int = 64
+    max_retries: int = 8
+
+    def __post_init__(self) -> None:
+        if self.bank < 0:
+            raise ValueError("bank index must be non-negative")
+        if not 0 <= self.start_cycle < self.end_cycle:
+            raise ValueError("stuck window must satisfy 0 <= start < end")
+        if self.backoff_cycles < 1 or self.max_retries < 1:
+            raise ValueError("backoff and retry bound must be >= 1")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Everything injected into one run.
+
+    Drop/defer/tear sets are 1-based occurrence numbers counted over the
+    matching event stream (data-category WPQ drains for the drain faults,
+    log/flag admissions for the admission drops), which makes a plan
+    meaningful independent of absolute cycle numbers.
+    """
+
+    seed: int = 0
+    crash: Optional[Trigger] = None
+    #: drop every Nth log-write admission (1 = drop all).  This includes
+    #: hardware log entries (LPQ/WPQ) and software log-region writebacks;
+    #: the ack still fires, so the pipeline proceeds believing the log is
+    #: durable — a manufactured log-before-data violation.
+    drop_log_every: int = 0
+    #: drop every Nth logFlag admission (software schemes).
+    drop_flag_every: int = 0
+    #: Nth data-category WPQ drains to drop (ADR violation: the write was
+    #: admitted, acknowledged, and then lost).
+    drop_data_drains: FrozenSet[int] = frozenset()
+    #: Nth data drains to defer to the queue tail (reordering; durability
+    #: preserved — ADR admission already happened).
+    defer_data_drains: FrozenSet[int] = frozenset()
+    #: Nth data drains whose array write tears (a seeded subset of the
+    #: line's words survives).
+    torn_data_drains: FrozenSet[int] = frozenset()
+    stuck_banks: Tuple[StuckBankFault, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.drop_log_every < 0 or self.drop_flag_every < 0:
+            raise ValueError("drop periods must be >= 0 (0 disables)")
+
+    def durability_faults(self) -> bool:
+        """True when the plan injects faults that can corrupt durable
+        state (as opposed to merely delaying or reordering it)."""
+        return bool(
+            self.drop_log_every
+            or self.drop_flag_every
+            or self.drop_data_drains
+            or self.torn_data_drains
+        )
+
+    def describe(self) -> str:
+        parts = [f"seed={self.seed}"]
+        if self.crash is not None:
+            parts.append(f"crash={self.crash.describe()}")
+        if self.drop_log_every:
+            parts.append(f"drop-log/{self.drop_log_every}")
+        if self.drop_flag_every:
+            parts.append(f"drop-flag/{self.drop_flag_every}")
+        for label, nths in (
+            ("drop-data", self.drop_data_drains),
+            ("defer-data", self.defer_data_drains),
+            ("torn-data", self.torn_data_drains),
+        ):
+            if nths:
+                parts.append(f"{label}@{','.join(map(str, sorted(nths)))}")
+        for stuck in self.stuck_banks:
+            parts.append(
+                f"stuck-bank{stuck.bank}@{stuck.start_cycle}-{stuck.end_cycle}"
+            )
+        return " ".join(parts)

@@ -44,8 +44,16 @@ class MemoryController:
         #: and every log entry eventually drains to NVM.
         self.log_write_removal = True
         self._writes_in_device = 0
+        #: writes parked in a stuck-bank retry loop (fault injection)
+        self._writes_retrying = 0
         self._drain_waiters: List[Callable[[], None]] = []
         self._log_regions: List[Tuple[int, int]] = []
+        #: optional fault-injection hooks (see ``repro.faults.harness``):
+        #: ``filter_admission(entry)`` may swallow a write at admission,
+        #: ``filter_drain(queue, entry)`` may drop/defer/tear a drain,
+        #: ``stuck_delay(addr, attempt)`` models stuck NVM banks, and
+        #: ``on_flash_clear(thread, txid, dropped)`` observes LPQ clears.
+        self.fault_hooks = None
 
     # -- configuration -------------------------------------------------------
 
@@ -99,10 +107,30 @@ class MemoryController:
         )
 
         def after_controller() -> None:
+            if self._admission_dropped(entry, on_durable):
+                return
             self.wpq.submit(entry, on_durable)
             self._pump_wpq()
 
         self.engine.schedule(self.config.controller_latency, after_controller)
+
+    def _admission_dropped(
+        self, entry: QueueEntry, on_durable: Optional[Callable[[], None]]
+    ) -> bool:
+        """Injected fault: the controller loses a write while still
+        acknowledging it — the machine believes the write is durable.
+
+        This is how a log-before-data violation is manufactured: the
+        pipeline proceeds past the fence/ack as normal, but the durable
+        state never received the write.
+        """
+        hooks = self.fault_hooks
+        if hooks is None or not hooks.filter_admission(entry):
+            return False
+        self.stats.add("faults.admission_drops")
+        if on_durable is not None:
+            self.engine.schedule(0, on_durable)
+        return True
 
     def submit_log(
         self,
@@ -121,6 +149,8 @@ class MemoryController:
         entry = QueueEntry(addr & ~63, category=category, thread_id=thread_id, txid=txid)
 
         def after_controller() -> None:
+            if self._admission_dropped(entry, on_durable):
+                return
             if self.lpq is not None:
                 # The first entry of a new transaction retires the sticky
                 # end-mark of the thread's previous transaction.
@@ -141,7 +171,10 @@ class MemoryController:
         """
         if self.lpq is None or not self.log_write_removal:
             return 0
-        return self.lpq.flash_clear(thread_id, txid, keep_last=True)
+        dropped = self.lpq.flash_clear(thread_id, txid, keep_last=True)
+        if self.fault_hooks is not None:
+            self.fault_hooks.on_flash_clear(thread_id, txid, dropped)
+        return dropped
 
     def flush_logs(self, thread_id: Optional[int] = None) -> None:
         """Force LPQ entries to NVM (context switch / shutdown path)."""
@@ -176,12 +209,20 @@ class MemoryController:
         servicing it (the device's internal buffer); the drain therefore
         waits out queueing but not the final array-write latency.
         """
-        return not self.wpq.is_empty() or self.device.outstanding_writes() > 0
+        return (
+            not self.wpq.is_empty()
+            or self.device.outstanding_writes() > 0
+            or self._writes_retrying > 0
+        )
 
     def all_writes_retired(self) -> bool:
         """True once every write has completed at the NVM array (used by
         the end-of-simulation drain)."""
-        return self.wpq.is_empty() and self._writes_in_device == 0
+        return (
+            self.wpq.is_empty()
+            and self._writes_in_device == 0
+            and self._writes_retrying == 0
+        )
 
     def notify_when_persistent(self, callback: Callable[[], None]) -> None:
         """Fire ``callback`` once every accepted write is in NVM (pcommit)."""
@@ -192,7 +233,24 @@ class MemoryController:
 
     # -- drain pumps -----------------------------------------------------------------
 
-    def _dispatch_write(self, entry: QueueEntry) -> None:
+    def _dispatch_write(self, entry: QueueEntry, attempt: int = 0) -> None:
+        hooks = self.fault_hooks
+        if hooks is not None:
+            # Stuck-bank fault: the dispatch fails and the controller
+            # backs off with a bounded retry (durability is preserved —
+            # the write is merely delayed, and it still counts as pending
+            # for fences and the final drain).
+            delay = hooks.stuck_delay(entry.addr, attempt)
+            if delay > 0:
+                self.stats.add("faults.stuck_retries")
+                self._writes_retrying += 1
+
+                def retry() -> None:
+                    self._writes_retrying -= 1
+                    self._dispatch_write(entry, attempt + 1)
+
+                self.engine.schedule(delay, retry)
+                return
         self._writes_in_device += 1
 
         def finished() -> None:
@@ -205,6 +263,23 @@ class MemoryController:
             NvmRequest(entry.addr, is_write=True, category=entry.category, callback=finished)
         )
 
+    def _drain_faulted(self, queue: PendingQueue, entry: QueueEntry) -> bool:
+        """Apply an injected drain fault; True when the entry must not be
+        dispatched this round (dropped, or deferred to the queue tail)."""
+        hooks = self.fault_hooks
+        if hooks is None:
+            return False
+        verdict = hooks.filter_drain(queue.name, entry)
+        if verdict == "drop":
+            self.stats.add(f"faults.{queue.name}.dropped_drains")
+            return True
+        if verdict == "defer":
+            self.stats.add(f"faults.{queue.name}.deferred_drains")
+            queue.entries.append(entry)
+            return True
+        # "torn" writes still dispatch; the harness records the torn words.
+        return False
+
     def _pump_wpq(self) -> None:
         backlog_limit = self.config.banks
         while (
@@ -214,6 +289,8 @@ class MemoryController:
             entry = self.wpq.pop_for_drain()
             if entry is None:
                 break
+            if self._drain_faulted(self.wpq, entry):
+                continue
             self._dispatch_write(entry)
         self._check_drained()
 
@@ -244,6 +321,8 @@ class MemoryController:
                 entry = self.lpq.pop_oldest()
             if entry is None:
                 break
+            if self._drain_faulted(self.lpq, entry):
+                continue
             self._dispatch_write(entry)
 
     def _check_drained(self) -> None:

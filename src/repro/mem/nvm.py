@@ -64,6 +64,9 @@ class NvmDevice:
         #: optional hook fired after every request completion; the memory
         #: controller uses it to re-evaluate pcommit drain waiters.
         self.on_state_change: Optional[Callable[[], None]] = None
+        #: optional fault-injection observer with ``on_nvm_write(request)``,
+        #: fired when a write completes at the array (crash reporting).
+        self.observer = None
 
     # -- public interface --------------------------------------------------
 
@@ -156,6 +159,8 @@ class NvmDevice:
     def _finish(self, bank: _Bank, request: NvmRequest) -> None:
         if request.is_write:
             self.stats.add(f"nvm.write.{request.category}")
+            if self.observer is not None:
+                self.observer.on_nvm_write(request)
         else:
             self.stats.add("nvm.reads")
         bank.busy = False

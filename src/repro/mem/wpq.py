@@ -35,6 +35,9 @@ class QueueEntry:
     txid: int = 0
     thread_id: int = -1
     sticky: bool = False
+    #: monotone admission number assigned by the queue (-1 until admitted);
+    #: gives fault trackers a stable identity for drop/reorder bookkeeping.
+    serial: int = -1
 
 
 class PendingQueue:
@@ -54,6 +57,9 @@ class PendingQueue:
         self.name = name
         self.entries: List[QueueEntry] = []
         self._admission: List[tuple] = []  # (entry, on_accept)
+        self._next_serial = 0
+        #: optional fault-injection observer with ``on_queue_admit(name, entry)``
+        self.observer = None
 
     # -- admission -----------------------------------------------------------
 
@@ -71,9 +77,13 @@ class PendingQueue:
         return False
 
     def _admit(self, entry: QueueEntry, on_accept: Optional[Callable[[], None]]) -> None:
+        entry.serial = self._next_serial
+        self._next_serial += 1
         self.entries.append(entry)
         self.stats.add(f"{self.name}.admitted")
         self.stats.set_max(f"{self.name}.max_occupancy", len(self.entries))
+        if self.observer is not None:
+            self.observer.on_queue_admit(self.name, entry)
         if on_accept is not None:
             self.engine.schedule(0, on_accept)
 

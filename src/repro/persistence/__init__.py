@@ -15,7 +15,13 @@ model ideal for property-based testing with hypothesis.
 """
 
 from repro.persistence.checker import CheckResult, check_trace, check_workload
-from repro.persistence.crash import CrashImage, CrashPoint, Phase, crash_image
+from repro.persistence.crash import (
+    CrashImage,
+    CrashPoint,
+    InvariantViolation,
+    Phase,
+    crash_image,
+)
 from repro.persistence.model import (
     FunctionalTx,
     LogEntry,
@@ -23,13 +29,19 @@ from repro.persistence.model import (
     image_after,
     images_equal,
 )
-from repro.persistence.recovery import RecoveryError, recover, recovery_cost
+from repro.persistence.recovery import (
+    RecoveryError,
+    recover,
+    recovery_cost,
+    verify_atomicity,
+)
 
 __all__ = [
     "CheckResult",
     "CrashImage",
     "CrashPoint",
     "FunctionalTx",
+    "InvariantViolation",
     "LogEntry",
     "Phase",
     "RecoveryError",
@@ -41,4 +53,5 @@ __all__ = [
     "images_equal",
     "recover",
     "recovery_cost",
+    "verify_atomicity",
 ]

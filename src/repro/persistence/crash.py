@@ -73,6 +73,94 @@ class CrashImage:
     #: txid of the in-flight transaction (0 when none)
     inflight_txid: int = 0
 
+    @classmethod
+    def from_machine_state(
+        cls,
+        scheme: Scheme,
+        initial: Dict[int, int],
+        txs: List[FunctionalTx],
+        *,
+        committed: int,
+        inflight_active: bool,
+        durable_log_blocks: FrozenSet[int] = frozenset(),
+        durable_data_lines: FrozenSet[int] = frozenset(),
+        logflag: int = 0,
+        sw_log_entries: Optional[List[LogEntry]] = None,
+        enforce_invariant: bool = True,
+    ) -> "CrashImage":
+        """Build a crash image from observed microarchitectural state.
+
+        The fault-injection harness feeds this with what it observed on
+        the real timing machine up to the crash cycle:
+
+        * ``committed`` — transactions whose commit point retired (hw:
+          ``tx-end``; sw: the logFlag *clear* reached the WPQ).
+        * ``inflight_active`` — whether the next transaction had started
+          doing durable work when the machine died.
+        * ``durable_log_blocks`` — log-from block addresses of the
+          in-flight transaction whose log entries were acknowledged by
+          the persistency domain (WPQ/LPQ admission).
+        * ``durable_data_lines`` — data line addresses of the in-flight
+          transaction admitted to the WPQ before the crash.
+        * ``logflag`` / ``sw_log_entries`` — software logging: the durable
+          flag value and the log entries (of the flagged transaction)
+          whose payload and header lines are both durable.
+
+        Values come from the functional transaction records — the timing
+        simulator tracks addresses and occupancy, not data — so the image
+        pairs real machine durability *events* with modeled contents.
+        """
+        k = min(committed, len(txs))
+        if scheme.is_software:
+            durable = image_after(initial, txs, k)
+            inflight_txid = 0
+            if k < len(txs) and inflight_active:
+                tx = txs[k]
+                inflight_txid = tx.txid
+                data_indices = frozenset(
+                    i
+                    for i, line in enumerate(tx.written_lines)
+                    if line in durable_data_lines
+                )
+                if data_indices and enforce_invariant:
+                    entries = sw_log_entries or []
+                    covered = sum(1 for e in entries if e.txid == tx.txid)
+                    if logflag != tx.txid or covered < len(tx.log_entries):
+                        raise InvariantViolation(
+                            f"tx {tx.txid}: data lines durable before the "
+                            f"logFlag/log persisted (flag={logflag}, "
+                            f"{covered}/{len(tx.log_entries)} entries) — "
+                            f"the Figure-2 fences forbid this state"
+                        )
+                _apply_data_subset(durable, tx, data_indices)
+            return cls(
+                scheme,
+                durable,
+                list(sw_log_entries or []),
+                logflag=logflag,
+                inflight_txid=inflight_txid,
+            )
+        if k >= len(txs) or not inflight_active:
+            return cls(scheme, image_after(initial, txs, k), [], inflight_txid=0)
+        tx = txs[k]
+        log_indices = frozenset(
+            i
+            for i, entry in enumerate(tx.log_entries)
+            if entry.block in durable_log_blocks
+        )
+        data_indices = frozenset(
+            i
+            for i, line in enumerate(tx.written_lines)
+            if line in durable_data_lines
+        )
+        return crash_image(
+            initial,
+            txs,
+            scheme,
+            CrashPoint(k, Phase.IN_FLIGHT, log_indices, data_indices),
+            enforce_invariant=enforce_invariant,
+        )
+
 
 class InvariantViolation(ValueError):
     """A crash point was requested that the hardware can never produce."""

@@ -21,6 +21,28 @@ def ns_to_cycles(nanoseconds: float) -> int:
     return max(1, round(nanoseconds * CPU_GHZ))
 
 
+def _require_positive(config: object, *fields_: str) -> None:
+    """Reject zero/negative structural parameters at construction time
+    with a message naming the offending field."""
+    name = type(config).__name__
+    for field_name in fields_:
+        value = getattr(config, field_name)
+        if value <= 0:
+            raise ValueError(
+                f"{name}.{field_name} must be positive, got {value!r}"
+            )
+
+
+def _require_non_negative(config: object, *fields_: str) -> None:
+    name = type(config).__name__
+    for field_name in fields_:
+        value = getattr(config, field_name)
+        if value < 0:
+            raise ValueError(
+                f"{name}.{field_name} must be >= 0, got {value!r}"
+            )
+
+
 @dataclass
 class CoreConfig:
     """Out-of-order core parameters (Table 1, Skylake-like)."""
@@ -38,6 +60,20 @@ class CoreConfig:
     #: outstanding demand loads per core (MSHR / superqueue bound)
     mshr_entries: int = 24
 
+    def __post_init__(self) -> None:
+        _require_positive(
+            self,
+            "frequency_ghz",
+            "fetch_width",
+            "retire_width",
+            "rob_entries",
+            "load_queue_entries",
+            "store_queue_entries",
+            "store_buffer_drain_per_cycle",
+            "alu_latency",
+            "mshr_entries",
+        )
+
 
 @dataclass
 class CacheConfig:
@@ -47,6 +83,9 @@ class CacheConfig:
     ways: int
     latency: int
     line_bytes: int = 64
+
+    def __post_init__(self) -> None:
+        _require_positive(self, "size_bytes", "ways", "latency", "line_bytes")
 
     @property
     def sets(self) -> int:
@@ -84,6 +123,19 @@ class MemoryConfig:
     #: bank dispatches from the controller
     dispatch_interval: int = 4
 
+    def __post_init__(self) -> None:
+        _require_positive(
+            self,
+            "read_latency",
+            "write_latency",
+            "row_hit_latency",
+            "banks",
+            "wpq_entries",
+            "read_queue_entries",
+            "dispatch_interval",
+        )
+        _require_non_negative(self, "controller_latency")
+
 
 @dataclass
 class ProteusConfig:
@@ -96,6 +148,21 @@ class ProteusConfig:
     lpq_entries: int = 256
     #: apply the NVMM log write removal optimization (LPQ flash clear).
     log_write_removal: bool = True
+
+    def __post_init__(self) -> None:
+        _require_positive(
+            self,
+            "log_registers",
+            "logq_entries",
+            "llt_entries",
+            "llt_ways",
+            "lpq_entries",
+        )
+        if self.llt_ways > self.llt_entries:
+            raise ValueError(
+                f"ProteusConfig.llt_ways ({self.llt_ways}) cannot exceed "
+                f"llt_entries ({self.llt_entries})"
+            )
 
 
 @dataclass
@@ -113,6 +180,9 @@ class AtomConfig:
     #: so the serialized per-store cost is this plus the controller trip.
     source_log_latency: int = 4
 
+    def __post_init__(self) -> None:
+        _require_positive(self, "tracker_entries", "source_log_latency")
+
 
 @dataclass
 class SystemConfig:
@@ -126,6 +196,9 @@ class SystemConfig:
     memory: MemoryConfig = field(default_factory=MemoryConfig)
     proteus: ProteusConfig = field(default_factory=ProteusConfig)
     atom: AtomConfig = field(default_factory=AtomConfig)
+
+    def __post_init__(self) -> None:
+        _require_positive(self, "cores")
 
     def replace(self, **kwargs) -> "SystemConfig":
         """Return a copy with top-level fields replaced."""

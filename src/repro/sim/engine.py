@@ -14,6 +14,21 @@ import itertools
 from typing import Callable, List, Optional, Tuple
 
 
+class SimulationHalted(RuntimeError):
+    """Raised by the simulation loop when a requested halt fires.
+
+    The fault-injection harness uses this to kill the machine mid-flight:
+    the exception carries the cycle and reason, and the simulator's state
+    (queues, caches, adapters) is left exactly as it was at that cycle for
+    the crash snapshot.
+    """
+
+    def __init__(self, cycle: int, reason: str) -> None:
+        super().__init__(f"simulation halted at cycle {cycle}: {reason}")
+        self.cycle = cycle
+        self.reason = reason
+
+
 class Engine:
     """A deterministic discrete-event engine with a cycle counter.
 
@@ -26,6 +41,42 @@ class Engine:
         self.cycle: int = 0
         self._heap: List[Tuple[int, int, Callable[[], None]]] = []
         self._sequence = itertools.count()
+        #: set by :meth:`request_halt`; the simulation loop checks it and
+        #: raises :class:`SimulationHalted` at the next safe point.
+        self.halted: bool = False
+        self.halt_reason: str = ""
+        self._halt_cycle: Optional[int] = None
+
+    # -- halting (fault injection) -------------------------------------------
+
+    def request_halt(self, reason: str) -> None:
+        """Ask the simulation loop to stop (crash) as soon as possible.
+
+        Safe to call from inside event callbacks or core ticks; the loop
+        finishes the current cycle's work and then raises.
+        """
+        if not self.halted:
+            self.halted = True
+            self.halt_reason = reason
+
+    def halt_at_cycle(self, cycle: int) -> None:
+        """Arrange for the clock to stop exactly at ``cycle``.
+
+        Both :meth:`advance` and :meth:`fast_forward` clamp at the halt
+        cycle, so a crash lands on the requested cycle even when the loop
+        would otherwise have skipped over it.
+        """
+        self._halt_cycle = cycle
+
+    def _clamp_to_halt(self, target: int) -> int:
+        if (
+            self._halt_cycle is not None
+            and not self.halted
+            and self.cycle < self._halt_cycle <= target
+        ):
+            self.request_halt(f"cycle {self._halt_cycle} reached")
+            return self._halt_cycle
+        return target
 
     def schedule(self, delay: int, callback: Callable[[], None]) -> None:
         """Run ``callback`` ``delay`` cycles from now (``delay >= 0``)."""
@@ -61,10 +112,17 @@ class Engine:
         return fired
 
     def advance(self, cycles: int = 1) -> None:
-        """Move the clock forward without firing events."""
+        """Move the clock forward without firing events (clamps at a
+        pending halt cycle)."""
         if cycles < 0:
             raise ValueError("cannot move the clock backwards")
-        self.cycle += cycles
+        self.cycle = self._clamp_to_halt(self.cycle + cycles)
+
+    def fast_forward(self, target: int) -> None:
+        """Jump the clock forward to ``target`` (clamps at a pending halt
+        cycle; never moves backwards)."""
+        if target > self.cycle:
+            self.cycle = self._clamp_to_halt(target)
 
     def advance_to_next_event(self) -> bool:
         """Jump the clock to the next pending event and fire all events due.

@@ -23,7 +23,7 @@ from repro.isa.trace import InstructionTrace, OpTrace
 from repro.mem.hierarchy import CacheHierarchy
 from repro.mem.memctrl import MemoryController
 from repro.sim.config import SystemConfig, fast_nvm_config
-from repro.sim.engine import Engine
+from repro.sim.engine import Engine, SimulationHalted
 from repro.sim.stats import Stats
 from repro.workloads.heap import ThreadAddressSpace
 
@@ -64,6 +64,7 @@ class Simulator:
         config: SystemConfig,
         scheme: Scheme,
         op_traces: Sequence[OpTrace],
+        fault_injector=None,
     ) -> None:
         if len(op_traces) > config.cores:
             raise ValueError(
@@ -86,6 +87,12 @@ class Simulator:
         self.traces: List[InstructionTrace] = []
         for op_trace in op_traces:
             self._build_core(op_trace)
+        #: cycle at which every core finished (before the final controller
+        #: drain); None until the run loop completes.
+        self.core_finish_cycle: Optional[int] = None
+        self.fault_injector = fault_injector
+        if fault_injector is not None:
+            fault_injector.attach(self)
 
     def _build_core(self, op_trace: OpTrace) -> None:
         thread_id = op_trace.thread_id
@@ -148,6 +155,8 @@ class Simulator:
         engine = self.engine
         cores = self.cores
         while True:
+            if engine.halted:
+                raise SimulationHalted(engine.cycle, engine.halt_reason)
             if all(core.finished() for core in cores):
                 break
             if engine.cycle > max_cycles:
@@ -156,6 +165,8 @@ class Simulator:
                     f"(scheme={self.scheme}, {self._progress_report()})"
                 )
             fired = engine.fire_due_events()
+            if engine.halted:
+                continue
             progress = False
             for core in cores:
                 if not core.finished():
@@ -170,7 +181,8 @@ class Simulator:
                     f"deadlock: no core can progress and no events are "
                     f"pending (scheme={self.scheme}, {self._progress_report()})"
                 )
-            engine.cycle = max(engine.cycle, next_cycle)
+            engine.fast_forward(next_cycle)
+        self.core_finish_cycle = engine.cycle
         self._final_drain()
         self.stats.counters["cycles"] = engine.cycle
         return SimResult(

@@ -1,0 +1,169 @@
+"""Checker fallback behavior and deliberate invariant violations.
+
+Covers the non-exhaustive path of :mod:`repro.persistence.checker`
+(``max_subset_bits`` caps the enumerated subsets and the result reports
+``exhaustive=False``) and shows that recovery checking really does catch
+crash states that violate the log-before-data invariant when they are
+constructed deliberately (``enforce_invariant=False``).
+"""
+
+import pytest
+
+from repro.core.schemes import Scheme
+from repro.persistence import (
+    InvariantViolation,
+    RecoveryError,
+    build_functional_txs,
+    crash_image,
+    image_after,
+    recover,
+    verify_atomicity,
+)
+from repro.persistence.checker import _subsets, check_trace, check_workload
+from repro.persistence.crash import CrashImage, CrashPoint, Phase
+from repro.workloads import LinkedListWorkload, QueueWorkload
+
+
+def _trace(workload_cls=QueueWorkload, sim_ops=3):
+    workload = workload_cls(thread_id=0, seed=5, init_ops=16, sim_ops=sim_ops)
+    return workload.generate()
+
+
+def _big_tx_trace():
+    """Multi-line, multi-entry transactions (4 lines / 5+ log entries)."""
+    workload = LinkedListWorkload(
+        thread_id=0, seed=5, init_ops=6, sim_ops=3, elements_per_node=32
+    )
+    return workload.generate()
+
+
+# -- _subsets fallback -------------------------------------------------------
+
+
+def test_subsets_small_counts_enumerate_everything():
+    subsets = list(_subsets(4, max_bits=6))
+    assert len(subsets) == 16
+    assert len(set(subsets)) == 16
+
+
+def test_subsets_beyond_cap_yields_boundary_family():
+    count = 10
+    subsets = list(_subsets(count, max_bits=6))
+    full = frozenset(range(count))
+    assert frozenset() in subsets
+    assert full in subsets
+    for i in range(count):
+        assert frozenset({i}) in subsets          # each singleton
+        assert full - {i} in subsets              # each complement
+    # Far fewer than 2**10 states: the cap really kicked in.
+    assert len(subsets) == 2 + 2 * count
+
+
+def test_check_trace_reports_non_exhaustive_and_stays_ok():
+    trace = _big_tx_trace()
+    result = check_trace(trace, Scheme.PROTEUS, max_subset_bits=1)
+    assert not result.exhaustive
+    assert result.ok, result.failures[:3]
+    # The same check with a roomy cap covers strictly more states.
+    wide = check_trace(trace, Scheme.PROTEUS, max_subset_bits=10)
+    assert wide.exhaustive
+    assert wide.ok
+    assert wide.states_checked > result.states_checked
+
+
+def test_check_workload_exhaustive_flag_set_when_under_cap():
+    result = check_workload(
+        QueueWorkload, Scheme.PMEM, seed=5, sim_ops=2, max_subset_bits=12
+    )
+    assert result.exhaustive
+    assert result.ok
+
+
+# -- deliberate log-before-data violations -----------------------------------
+
+
+def _violating_hw_point(txs):
+    """First (tx, data line) whose covering log entry exists — durable
+    data with *no* durable log is then a guaranteed violation."""
+    for k, tx in enumerate(txs):
+        if tx.log_entries and tx.written_lines:
+            return k, tx
+    raise AssertionError("workload produced no logged transaction")
+
+
+def test_enforced_invariant_rejects_bad_hw_crash_point():
+    trace = _trace()
+    initial, txs = build_functional_txs(trace, Scheme.PROTEUS)
+    k, tx = _violating_hw_point(txs)
+    crash = CrashPoint(
+        k,
+        Phase.IN_FLIGHT,
+        log_durable=frozenset(),
+        data_durable=frozenset(range(len(tx.written_lines))),
+    )
+    with pytest.raises(InvariantViolation):
+        crash_image(initial, txs, Scheme.PROTEUS, crash)
+
+
+def test_unenforced_hw_violation_is_caught_by_recovery_check():
+    trace = _trace()
+    initial, txs = build_functional_txs(trace, Scheme.PROTEUS)
+    k, tx = _violating_hw_point(txs)
+    candidates = [image_after(initial, txs, i) for i in range(len(txs) + 1)]
+    crash = CrashPoint(
+        k,
+        Phase.IN_FLIGHT,
+        log_durable=frozenset(),
+        data_durable=frozenset(range(len(tx.written_lines))),
+    )
+    image = crash_image(initial, txs, Scheme.PROTEUS, crash, enforce_invariant=False)
+    recovered = recover(image)
+    # With the log lost, recovery cannot roll the partial data back, so
+    # the recovered image matches no transaction boundary.
+    if not any(
+        recovered == candidate for candidate in (candidates[k], candidates[k + 1])
+    ):
+        with pytest.raises(RecoveryError):
+            verify_atomicity(recovered, candidates)
+
+
+def test_unenforced_sw_violation_is_caught_by_recovery_check():
+    trace = _big_tx_trace()
+    initial, txs = build_functional_txs(trace, Scheme.PMEM)
+    candidates = [image_after(initial, txs, i) for i in range(len(txs) + 1)]
+    caught = 0
+    for k, tx in enumerate(txs):
+        if len(tx.written_lines) < 2:
+            continue
+        # Flag clear, log absent, but half the data lines durable: the
+        # Figure-2 fences forbid this; from_machine_state must refuse it
+        # when enforcing and recovery checking must catch it otherwise.
+        half = frozenset(tx.written_lines[: len(tx.written_lines) // 2])
+        with pytest.raises(InvariantViolation):
+            CrashImage.from_machine_state(
+                Scheme.PMEM,
+                initial,
+                txs,
+                committed=k,
+                inflight_active=True,
+                durable_data_lines=half,
+                logflag=0,
+                sw_log_entries=[],
+            )
+        image = CrashImage.from_machine_state(
+            Scheme.PMEM,
+            initial,
+            txs,
+            committed=k,
+            inflight_active=True,
+            durable_data_lines=half,
+            logflag=0,
+            sw_log_entries=[],
+            enforce_invariant=False,
+        )
+        recovered = recover(image)
+        try:
+            verify_atomicity(recovered, candidates)
+        except RecoveryError:
+            caught += 1
+    assert caught >= 1

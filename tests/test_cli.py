@@ -52,9 +52,36 @@ def test_crash_subcommand(capsys):
     assert "transaction boundary" in capsys.readouterr().out
 
 
-def test_unknown_scheme_rejected():
-    with pytest.raises(SystemExit):
-        main(["run", "--scheme", "NotAScheme"])
+def test_unknown_scheme_rejected(capsys):
+    code = main(["run", "--scheme", "NotAScheme", "--ops", "2", "--init", "8"])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "unknown scheme" in err
+    assert "proteus" in err
+
+
+def test_unknown_workload_rejected(capsys):
+    code = main(["run", "--benchmark", "NotABench", "--ops", "2", "--init", "8"])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "unknown workload" in err
+    assert "btree" in err
+
+
+def test_friendly_names_accepted(capsys):
+    code = main(["run", "--benchmark", "btree", "--scheme", "sw",
+                 "--ops", "2", "--init", "16"])
+    assert code == 0
+    assert "BT under PMEM" in capsys.readouterr().out
+
+
+def test_faults_subcommand(capsys):
+    code = main(["faults", "--scheme", "proteus", "--workload", "queue",
+                 "--crashes", "10", "--seed", "7"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "fault campaign" in out
+    assert "PASS" in out
 
 
 def test_missing_subcommand_rejected():

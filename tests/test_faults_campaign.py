@@ -1,0 +1,142 @@
+"""Acceptance tests for the cycle-level fault-injection campaigns.
+
+* Seeded campaigns of 100 crash points per (scheme, workload) — 200+ per
+  scheme over two workloads — recover to a transaction boundary at every
+  crash for every failure-safe scheme.
+* The same campaign with a deliberately injected log-before-data
+  violation (dropped log/flag admissions whose acknowledgments still
+  fire) is *detected*: recovery checking records a RecoveryError.
+* Identical seeds produce byte-identical campaign reports.
+"""
+
+import pytest
+
+from repro.faults import FaultPlan, StuckBankFault, Trigger, run_campaign
+
+SCHEMES = ("sw", "atom", "proteus")
+WORKLOADS = ("QE", "BT")
+
+#: Small but non-trivial run: ~3-4 multi-store transactions per thread.
+CAMPAIGN_KWARGS = dict(init_ops=12, sim_ops=4, think_instructions=0)
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_clean_campaign_recovers_at_every_crash_point(scheme, workload):
+    result = run_campaign(
+        scheme, workload, crashes=100, seed=7, mode="none", **CAMPAIGN_KWARGS
+    )
+    assert result.crashes == 100
+    assert result.inconsistent == 0, [
+        (case.plan.describe(), case.detail)
+        for case in result.cases
+        if case.outcome == "inconsistent"
+    ][:3]
+    # The sweep must actually crash mid-flight, not just run to the end.
+    assert result.consistent >= 80
+    assert result.passed
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_drop_log_violation_is_detected(scheme):
+    result = run_campaign(
+        scheme, "QE", crashes=40, seed=7, mode="drop-log", **CAMPAIGN_KWARGS
+    )
+    assert result.inconsistent >= 1
+    assert result.passed
+    details = [c.detail for c in result.cases if c.outcome == "inconsistent"]
+    assert any("RecoveryError" in detail for detail in details), details[:3]
+
+
+def test_drop_flag_violation_is_detected_for_software_logging():
+    # Detection needs a crash inside one commit's WPQ-admission burst on
+    # a line whose flag protection was dropped; a small heap makes those
+    # partial-durability windows dense enough to hit reliably.
+    result = run_campaign(
+        "sw", "QE", crashes=60, seed=7, mode="drop-flag",
+        init_ops=8, sim_ops=4, think_instructions=0,
+    )
+    assert result.inconsistent >= 1
+    assert result.passed
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_dropped_data_drains_are_detected(scheme):
+    result = run_campaign(
+        scheme, "BT", crashes=24, seed=7, mode="drop-data", **CAMPAIGN_KWARGS
+    )
+    assert result.inconsistent >= 1
+    assert result.passed
+
+
+def test_durability_preserving_faults_stay_clean():
+    for mode in ("reorder", "stuck"):
+        result = run_campaign(
+            "proteus", "QE", crashes=24, seed=7, mode=mode, **CAMPAIGN_KWARGS
+        )
+        assert result.inconsistent == 0, mode
+        assert result.passed
+
+
+def test_identical_seeds_reproduce_reports_byte_for_byte():
+    first = run_campaign(
+        "proteus", "BT", crashes=30, seed=9, mode="torn", **CAMPAIGN_KWARGS
+    ).report()
+    second = run_campaign(
+        "proteus", "BT", crashes=30, seed=9, mode="torn", **CAMPAIGN_KWARGS
+    ).report()
+    assert first == second
+    other = run_campaign(
+        "proteus", "BT", crashes=30, seed=10, mode="torn", **CAMPAIGN_KWARGS
+    ).report()
+    assert first != other
+
+
+def test_multithreaded_campaign_stays_clean():
+    result = run_campaign(
+        "proteus", "QE", crashes=20, seed=3, threads=2, mode="none",
+        init_ops=8, sim_ops=3, think_instructions=0,
+    )
+    assert result.inconsistent == 0
+    assert result.passed
+    # Per-case results carry a crash snapshot per thread.
+    crashed = [case for case in result.cases if case.crashed]
+    assert crashed and all(len(case.ks) == 2 for case in crashed)
+
+
+# -- plan / trigger validation ------------------------------------------------
+
+
+def test_trigger_rejects_unknown_kind_and_bad_occurrence():
+    with pytest.raises(ValueError, match="unknown trigger kind"):
+        Trigger("bogus", 1)
+    with pytest.raises(ValueError, match=">= 1"):
+        Trigger("cycle", 0)
+
+
+def test_stuck_bank_fault_validates_window():
+    with pytest.raises(ValueError):
+        StuckBankFault(bank=0, start_cycle=10, end_cycle=10)
+    fault = StuckBankFault(bank=3, start_cycle=0, end_cycle=100)
+    assert fault.max_retries >= 1
+
+
+def test_fault_plan_describe_is_deterministic():
+    plan = FaultPlan(
+        seed=4,
+        crash=Trigger("wpq-drain", 7),
+        drop_data_drains=frozenset({3, 1}),
+        stuck_banks=(StuckBankFault(bank=2, start_cycle=5, end_cycle=50),),
+    )
+    assert plan.describe() == (
+        "seed=4 crash=wpq-drain#7 drop-data@1,3 stuck-bank2@5-50"
+    )
+    assert plan.durability_faults()
+    assert not FaultPlan(seed=1, crash=Trigger("cycle", 9)).durability_faults()
+
+
+def test_campaign_rejects_unsafe_scheme_and_unknown_mode():
+    with pytest.raises(ValueError, match="not failure safe"):
+        run_campaign("nolog", "QE", crashes=1, **CAMPAIGN_KWARGS)
+    with pytest.raises(ValueError, match="unknown fault mode"):
+        run_campaign("proteus", "QE", crashes=1, mode="meteor", **CAMPAIGN_KWARGS)
