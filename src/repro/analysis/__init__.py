@@ -19,11 +19,14 @@ from repro.analysis.experiments import (
     table3_large_transactions,
     table4_llt_miss_rate,
 )
+from repro.analysis.lintsweep import LintSweepResult, lint_sweep
 from repro.analysis.report import format_table
 
 __all__ = [
     "BENCH_SPECS",
     "EvaluationResult",
+    "LintSweepResult",
+    "lint_sweep",
     "fig10_dram",
     "fig11_logq_sweep",
     "fig12_lpq_sweep",

@@ -1,0 +1,109 @@
+"""Lint sweep: run ``persist-lint`` over a scheme x workload matrix.
+
+This is the correctness gate CI runs before any codegen change lands:
+every bundled scheme's lowering of every bundled workload must produce
+zero error-severity diagnostics.  The report is a compact matrix (one
+cell per combination) followed by any diagnostics, deterministic for a
+fixed seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Union
+
+from repro.core.schemes import Scheme
+from repro.lint.diagnostics import LintResult
+from repro.lint.runner import lint_workload
+from repro.workloads import BENCHMARK_ORDER
+
+
+@dataclass
+class LintSweepResult:
+    """Outcome of one lint sweep."""
+
+    results: List[LintResult] = field(default_factory=list)
+
+    @property
+    def errors(self) -> int:
+        return sum(result.errors for result in self.results)
+
+    @property
+    def warnings(self) -> int:
+        return sum(result.warnings for result in self.results)
+
+    @property
+    def passed(self) -> bool:
+        """True when no combination produced an error diagnostic."""
+        return all(result.ok for result in self.results)
+
+    def failing(self) -> List[LintResult]:
+        return [result for result in self.results if not result.ok]
+
+    def report(self, verbose: bool = False) -> str:
+        """Matrix report: one row per scheme, one column per workload."""
+        schemes = sorted({str(r.scheme) for r in self.results})
+        workloads = sorted(
+            {r.workload for r in self.results},
+            key=lambda w: (
+                BENCHMARK_ORDER.index(w) if w in BENCHMARK_ORDER else 99,
+                w,
+            ),
+        )
+        cell = {(str(r.scheme), r.workload): r for r in self.results}
+        width = max(14, max((len(s) for s in schemes), default=14))
+        lines = [
+            "persist-lint sweep: cells are errors/warnings per "
+            "scheme x workload",
+            "  " + " " * width + "".join(f"{w:>10s}" for w in workloads),
+        ]
+        for scheme in schemes:
+            row = f"  {scheme:<{width}s}"
+            for workload in workloads:
+                result = cell.get((scheme, workload))
+                row += f"{'-':>10s}" if result is None else (
+                    f"{f'{result.errors}/{result.warnings}':>10s}"
+                )
+            lines.append(row)
+        lines.append(
+            f"  total: {self.errors} error(s), {self.warnings} warning(s) "
+            f"-> {'PASS' if self.passed else 'FAIL'}"
+        )
+        shown = self.failing() if not verbose else self.results
+        for result in shown:
+            for diag in result.diagnostics:
+                if verbose or diag.severity.value == "error":
+                    lines.append(
+                        f"  [{result.scheme} x {result.workload}] {diag.format()}"
+                    )
+        return "\n".join(lines) + "\n"
+
+
+def lint_sweep(
+    schemes: Optional[Sequence[Union[Scheme, str]]] = None,
+    workloads: Optional[Sequence[str]] = None,
+    threads: int = 1,
+    seed: int = 42,
+    init_ops: Optional[int] = None,
+    sim_ops: Optional[int] = None,
+) -> LintSweepResult:
+    """Lint every (scheme, workload) combination of the given sets.
+
+    Defaults sweep all bundled schemes over all bundled workloads.
+    """
+    scheme_list = [Scheme.parse(s) for s in schemes] if schemes else list(Scheme)
+    workload_list = list(workloads) if workloads else list(BENCHMARK_ORDER)
+    sweep = LintSweepResult()
+    for scheme in scheme_list:
+        for workload in workload_list:
+            sweep.results.append(
+                lint_workload(
+                    scheme,
+                    workload,
+                    threads=threads,
+                    seed=seed,
+                    init_ops=init_ops,
+                    sim_ops=sim_ops,
+                )
+            )
+    return sweep

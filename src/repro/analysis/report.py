@@ -8,7 +8,7 @@ visible in the bench output itself.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Sequence
 
 
 def format_table(

@@ -9,6 +9,9 @@ Subcommands:
 * ``faults`` — crash the *timing* simulator mid-flight (seeded campaign
   over cycle/trigger crash points, optionally with injected memory
   faults) and verify recovery from real microarchitectural state.
+* ``lint`` — statically verify the persistency-ordering contract of the
+  lowered instruction streams (``persist-lint``); exits nonzero on any
+  error-severity diagnostic.
 
 Examples::
 
@@ -17,6 +20,8 @@ Examples::
     python -m repro experiment fig6 --threads 2 --scale 0.25 --seed 7
     python -m repro crash --benchmark HM --crashes 100 --scheme ATOM
     python -m repro faults --scheme proteus --workload btree --crashes 200 --seed 7
+    python -m repro lint --scheme all --workload all
+    python -m repro lint --scheme pmem --workload btree --json
 
 Scheme and workload names are forgiving: ``sw``/``pmem``, ``atom``,
 ``proteus``, ``btree``/``BT``, ``queue``/``QE``, … — an unknown name
@@ -33,7 +38,7 @@ from typing import List, Optional
 from repro.core.schemes import BASELINE, Scheme
 from repro.sim.config import dram_config, fast_nvm_config, slow_nvm_config
 from repro.sim.simulator import run_trace
-from repro.workloads import BENCHMARK_ORDER, WORKLOADS
+from repro.workloads import BENCHMARK_ORDER
 from repro.workloads.base import generate_traces
 
 CONFIGS = {
@@ -202,6 +207,42 @@ def cmd_faults(args) -> int:
     return 0 if result.passed else 1
 
 
+def cmd_lint(args) -> int:
+    from repro.analysis.lintsweep import lint_sweep
+    from repro.lint import render_json, render_text, rule_catalog
+    from repro.workloads import BENCHMARK_ORDER
+
+    if args.rules:
+        print(rule_catalog())
+        return 0
+    schemes = None if args.scheme == "all" else [Scheme.parse(args.scheme)]
+    if args.benchmark == "all":
+        workloads = list(BENCHMARK_ORDER)
+    else:
+        from repro.faults.campaign import resolve_workload
+
+        workloads = [resolve_workload(args.benchmark).name]
+    sweep = lint_sweep(
+        schemes=schemes,
+        workloads=workloads,
+        threads=args.threads,
+        seed=args.seed,
+        init_ops=args.init,
+        sim_ops=args.ops,
+    )
+    if args.json:
+        print(render_json(sweep.results))
+    elif len(sweep.results) == 1:
+        print(render_text(sweep.results[0], verbose=args.verbose))
+    else:
+        print(sweep.report(verbose=args.verbose), end="")
+    if not sweep.passed:
+        return 1
+    if args.strict_warnings and sweep.warnings:
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Proteus NVM logging reproduction"
@@ -262,6 +303,33 @@ def build_parser() -> argparse.ArgumentParser:
     faults_parser.add_argument("--verbose", action="store_true",
                                help="print the per-case report")
     faults_parser.set_defaults(func=cmd_faults)
+
+    lint_parser = subparsers.add_parser(
+        "lint",
+        help="statically verify persistency ordering of lowered streams",
+    )
+    lint_parser.add_argument(
+        "--scheme", default="all",
+        help="scheme name or 'all' (default) for every bundled scheme",
+    )
+    lint_parser.add_argument(
+        "--workload", "--benchmark", dest="benchmark", default="all",
+        help="paper code, friendly name, or 'all' (default)",
+    )
+    lint_parser.add_argument("--threads", type=int, default=1)
+    lint_parser.add_argument("--ops", type=int, default=20,
+                             help="transactions per thread to lint")
+    lint_parser.add_argument("--init", type=int, default=200)
+    lint_parser.add_argument("--seed", type=int, default=42)
+    lint_parser.add_argument("--json", action="store_true",
+                             help="emit the stable JSON report")
+    lint_parser.add_argument("--rules", action="store_true",
+                             help="print the rule catalog and exit")
+    lint_parser.add_argument("--strict-warnings", action="store_true",
+                             help="exit 1 on warnings too")
+    lint_parser.add_argument("--verbose", action="store_true",
+                             help="print every diagnostic, warnings included")
+    lint_parser.set_defaults(func=cmd_lint)
     return parser
 
 

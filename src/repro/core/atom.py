@@ -25,7 +25,7 @@ each).  This is the source of ATOM's ~3.4x write amplification.
 
 from __future__ import annotations
 
-from typing import List, Optional, Set
+from typing import List, Set
 
 from repro.core.log_area import LogArea
 from repro.cpu.adapter import LoggingAdapter

@@ -24,7 +24,7 @@ the compiler inserts whatever the logging scheme needs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import List
 
 from repro.core.schemes import Scheme
 from repro.isa.instructions import (
@@ -79,6 +79,28 @@ class ThreadLayout:
             raise ValueError("software log area too small for one entry")
         if self.sw_log_size % SW_LOG_BYTES_PER_LINE:
             raise ValueError("software log size must be a whole number of entries")
+        # Every region must be cache-line aligned: a misaligned log base
+        # would make each 2-line log entry straddle three lines, and the
+        # SW_LOG_BYTES_PER_LINE accounting (and every flush in the
+        # lowered stream) would silently under-persist.
+        if self.sw_log_base % CACHE_LINE:
+            raise ValueError(
+                f"software log base {self.sw_log_base:#x} is not "
+                f"cache-line aligned"
+            )
+        if self.hw_log_base % CACHE_LINE:
+            raise ValueError(
+                f"hardware log base {self.hw_log_base:#x} is not "
+                f"cache-line aligned"
+            )
+        if self.logflag_addr % CACHE_LINE:
+            raise ValueError(
+                f"logFlag address {self.logflag_addr:#x} is not "
+                f"cache-line aligned (its flush must cover exactly one line)"
+            )
+        sw_log_end = self.sw_log_base + self.sw_log_size
+        if self.sw_log_base <= self.logflag_addr < sw_log_end:
+            raise ValueError("logFlag must not live inside the software log area")
 
 
 class CodeGenerator:
@@ -206,10 +228,21 @@ class CodeGenerator:
 
     def _lower_software(self, tx: TxRecord, out: InstructionTrace) -> None:
         # Step 1: copy every candidate line into the log and persist it.
+        # Candidate ranges may overlap (two ranges covering one line);
+        # each line is copied exactly once or the per-entry
+        # SW_LOG_BYTES_PER_LINE accounting would double-count it and the
+        # circular log would wrap early.
         log_lines: List[int] = []
+        copied: set = set()
         for base, size in tx.log_candidates:
             for line in expand_lines(base, size):
+                if line in copied:
+                    continue
+                copied.add(line)
                 log_lines.extend(self._emit_sw_log_copy(line, tx.txid, out))
+        assert len(log_lines) == len(set(log_lines)), (
+            "software log slots must be distinct per transaction"
+        )
         for line in log_lines:
             out.append(clwb(line, txid=tx.txid, tag="log"))
         self._persist_barrier(out)
@@ -232,10 +265,12 @@ class CodeGenerator:
     def _emit_sw_log_copy(self, line: int, txid: int, out: InstructionTrace) -> List[int]:
         """Copy one 64 B line into the software log; returns the log lines
         that must be flushed."""
+        assert line % CACHE_LINE == 0, f"log candidate {line:#x} is not line aligned"
         slot = self._alloc_sw_log_slot()
+        assert slot % CACHE_LINE == 0, f"log slot {slot:#x} is not line aligned"
         out.append(alu(tag="log-addr-calc"))
         for word in range(WORDS_PER_LINE):
-            idx = out.append(load(line + 8 * word, txid=txid, tag="log-copy"))
+            out.append(load(line + 8 * word, txid=txid, tag="log-copy"))
             out.append(
                 store(slot + 8 * word, txid=txid, tag="log-copy", value=None)
             )
@@ -245,6 +280,11 @@ class CodeGenerator:
 
     def _alloc_sw_log_slot(self) -> int:
         slot = self._sw_log_cursor
+        assert (
+            self.layout.sw_log_base
+            <= slot
+            <= self.layout.sw_log_base + self.layout.sw_log_size - SW_LOG_BYTES_PER_LINE
+        ), f"software log cursor {slot:#x} escaped the log area"
         self._sw_log_cursor += SW_LOG_BYTES_PER_LINE
         if self._sw_log_cursor >= self.layout.sw_log_base + self.layout.sw_log_size:
             self._sw_log_cursor = self.layout.sw_log_base

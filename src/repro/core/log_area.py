@@ -13,7 +13,7 @@ an exception; here that is :class:`LogAreaOverflow`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Optional
 
 #: Size of one log entry in bytes (data + metadata fit one cache line).
 LOG_ENTRY_BYTES = 64

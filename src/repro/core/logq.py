@@ -20,8 +20,8 @@ required so no younger store can slip past the flush).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 from repro.isa.instructions import LOG_GRAIN
 from repro.sim.stats import Stats

@@ -87,6 +87,25 @@ class Scheme(enum.Enum):
         return self not in (Scheme.PMEM_NOLOG, Scheme.PMEM_STRICT)
 
     @property
+    def logging_style(self) -> str:
+        """How this scheme's lowered streams provide undo coverage.
+
+        ``"software"`` — instruction-level log copies plus a logFlag
+        (Figure 2); ``"sshl"`` — explicit ``log-load``/``log-flush``
+        pairs resolved by hardware (Proteus); ``"hardware"`` — logging
+        is invisible in the stream (ATOM logs at store retirement);
+        ``"none"`` — no logging at all (the unsafe ablations).
+        Consumed by the ``repro.lint`` per-scheme rule profiles.
+        """
+        if self.is_software:
+            return "software"
+        if self.is_sshl:
+            return "sshl"
+        if self.is_hardware:
+            return "hardware"
+        return "none"
+
+    @property
     def uses_pcommit(self) -> bool:
         """True when codegen inserts ``pcommit`` after persist fences."""
         return self is Scheme.PMEM_PCOMMIT

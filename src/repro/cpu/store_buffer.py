@@ -11,7 +11,7 @@ an older pending log flush must not be released to the cache.
 from __future__ import annotations
 
 from collections import deque
-from typing import TYPE_CHECKING, Callable, Deque, Optional
+from typing import TYPE_CHECKING, Deque, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.cpu.ooo_core import DynInstr

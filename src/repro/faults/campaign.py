@@ -48,6 +48,12 @@ FAULT_MODES = (
 #: Modes that must never produce an inconsistency.
 CLEAN_MODES = ("none", "reorder", "stuck")
 
+#: Modes that manufacture durability violations; the campaign passes only
+#: when recovery checking *detects* them.  The log/flag drops also have
+#: static analogs that ``persist-lint`` must flag (see
+#: :mod:`repro.lint.crossval`).
+VIOLATION_MODES = tuple(mode for mode in FAULT_MODES if mode not in CLEAN_MODES)
+
 #: Friendly CLI spellings for the paper's workload abbreviations.
 WORKLOAD_ALIASES = {
     "queue": "QE",
@@ -107,9 +113,9 @@ class CampaignResult:
     @property
     def passed(self) -> bool:
         """Clean modes must stay clean; violation modes must be caught."""
-        if self.mode in CLEAN_MODES:
-            return self.inconsistent == 0
-        return self.inconsistent >= 1
+        if self.mode in VIOLATION_MODES:
+            return self.inconsistent >= 1
+        return self.inconsistent == 0
 
     def report(self) -> str:
         """Deterministic text report (no timestamps, no absolute paths)."""

@@ -16,7 +16,7 @@ recovery, and check atomicity against the functional reference.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.schemes import Scheme

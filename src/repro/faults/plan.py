@@ -10,7 +10,7 @@ reproduces the same failure bit-for-bit on every run.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import FrozenSet, Optional, Tuple
 
 #: Crash trigger taxonomy.

@@ -29,7 +29,7 @@ from whatever history survives.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.core.codegen import SW_LOG_BYTES_PER_LINE
@@ -37,7 +37,7 @@ from repro.core.schemes import Scheme
 from repro.isa.instructions import CACHE_LINE, FENCE_KINDS, Kind, expand_lines
 from repro.isa.trace import OpTrace
 from repro.persistence.crash import CrashImage
-from repro.persistence.model import FunctionalTx, LogEntry, build_functional_txs, image_after
+from repro.persistence.model import LogEntry, build_functional_txs, image_after
 from repro.workloads.heap import (
     THREAD_SPAN,
     ThreadAddressSpace,

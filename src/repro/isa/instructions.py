@@ -17,7 +17,7 @@ single decoded trace can be replayed many times.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Tuple
 
 #: Cache line size in bytes (Table 1: 64 B blocks everywhere).
@@ -202,14 +202,31 @@ def log_save() -> Instruction:
 
 
 def expand_lines(addr: int, size: int) -> Tuple[int, ...]:
-    """Return the cache-line base addresses touched by ``[addr, addr+size)``."""
+    """Return the cache-line base addresses touched by ``[addr, addr+size)``.
+
+    The result is strictly increasing and duplicate free by construction;
+    a non-positive ``size`` (an empty range has no lines, so callers
+    iterating the result would silently account for nothing) is rejected.
+    """
+    if size < 1:
+        raise ValueError(f"access size must be >= 1 byte, got {size}")
+    if addr < 0:
+        raise ValueError(f"address must be non-negative, got {addr:#x}")
     first = cache_line_of(addr)
     last = cache_line_of(addr + size - 1)
     return tuple(range(first, last + 1, CACHE_LINE))
 
 
 def expand_log_blocks(addr: int, size: int) -> Tuple[int, ...]:
-    """Return the 32 B logging-block base addresses touched by the range."""
+    """Return the 32 B logging-block base addresses touched by the range.
+
+    Same contract as :func:`expand_lines`: strictly increasing, duplicate
+    free, positive sizes only.
+    """
+    if size < 1:
+        raise ValueError(f"access size must be >= 1 byte, got {size}")
+    if addr < 0:
+        raise ValueError(f"address must be non-negative, got {addr:#x}")
     first = log_block_of(addr)
     last = log_block_of(addr + size - 1)
     return tuple(range(first, last + 1, LOG_GRAIN))

@@ -9,7 +9,7 @@ instruction stream executed by one core.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, List, Union
+from typing import Iterable, Iterator, List, Optional, Union
 
 from repro.isa.instructions import Instruction, Kind
 from repro.isa.ops import Op, TxRecord

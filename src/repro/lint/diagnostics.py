@@ -1,0 +1,172 @@
+"""Diagnostic model for ``persist-lint``.
+
+Every finding the analyzer can produce is registered here with a stable
+code, a severity, and a one-line title.  Codes never change meaning once
+released: tests, CI gates and the fault-campaign cross-validation all key
+on them.
+
+Severity semantics:
+
+* ``error`` — the stream breaks the persistency-ordering contract; a
+  crash at the wrong instant is unrecoverable (or recovers to a corrupt
+  image).  CI fails on any error.
+* ``warning`` — the stream is correct but wasteful (redundant persists
+  that hardware like the LLT exists to absorb).  Reported, never fatal.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.schemes import Scheme
+
+
+class Severity(enum.Enum):
+    """Diagnostic severity."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered diagnostic rule."""
+
+    code: str
+    severity: Severity
+    title: str
+
+
+#: The rule catalog.  Append-only: codes are stable across releases.
+RULES: Dict[str, Rule] = {
+    rule.code: rule
+    for rule in (
+        Rule(
+            "P001",
+            Severity.ERROR,
+            "transactional store with no prior undo-log coverage",
+        ),
+        Rule(
+            "P002",
+            Severity.ERROR,
+            "undo log made durable after (or never before) its data store",
+        ),
+        Rule(
+            "P003",
+            Severity.ERROR,
+            "logFlag set/clear not fenced before the next persistent store",
+        ),
+        Rule(
+            "P004",
+            Severity.ERROR,
+            "dangling tx-begin/tx-end or persistent store outside a transaction",
+        ),
+        Rule(
+            "P005",
+            Severity.ERROR,
+            "transactionally written line not persisted by the commit point",
+        ),
+        Rule(
+            "P006",
+            Severity.ERROR,
+            "log-flush without a matching log-load producer",
+        ),
+        Rule(
+            "W101",
+            Severity.WARNING,
+            "redundant flush/log of an already-covered line",
+        ),
+        Rule(
+            "W102",
+            Severity.WARNING,
+            "log-load whose logging register is never flushed",
+        ),
+    )
+}
+
+#: Codes whose severity is ``error``.
+ERROR_CODES = frozenset(code for code, rule in RULES.items() if rule.severity is Severity.ERROR)
+
+#: Codes whose severity is ``warning``.
+WARNING_CODES = frozenset(code for code, rule in RULES.items() if rule.severity is Severity.WARNING)
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding, anchored to an instruction of one thread's stream.
+
+    Attributes:
+        code: rule code (``P001`` ... ``W102``).
+        thread_id: the stream's thread.
+        index: instruction index within the lowered trace.
+        message: human-readable explanation with concrete addresses.
+        addr: the cache line / logging block the finding concerns.
+        txid: the transaction involved (0 when outside any transaction).
+    """
+
+    code: str
+    thread_id: int
+    index: int
+    message: str
+    addr: Optional[int] = None
+    txid: int = 0
+
+    def __post_init__(self) -> None:
+        if self.code not in RULES:
+            raise ValueError(f"unregistered diagnostic code {self.code!r}")
+
+    @property
+    def rule(self) -> Rule:
+        return RULES[self.code]
+
+    @property
+    def severity(self) -> Severity:
+        return RULES[self.code].severity
+
+    def format(self) -> str:
+        """``<code> <severity> t<thread>@<index>: <message>`` one-liner."""
+        place = f"t{self.thread_id}@{self.index}"
+        return f"{self.code} {self.severity} {place}: {self.message}"
+
+
+@dataclass
+class LintResult:
+    """Outcome of linting one (scheme, workload) instruction stream set."""
+
+    scheme: Scheme
+    workload: str
+    threads: int
+    instructions: int
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    @property
+    def errors(self) -> int:
+        return sum(1 for d in self.diagnostics if d.severity is Severity.ERROR)
+
+    @property
+    def warnings(self) -> int:
+        return sum(1 for d in self.diagnostics if d.severity is Severity.WARNING)
+
+    @property
+    def ok(self) -> bool:
+        """True when no error-severity diagnostics were found."""
+        return self.errors == 0
+
+    def codes(self) -> Dict[str, int]:
+        """Diagnostic count per code, sorted by code."""
+        counts: Dict[str, int] = {}
+        for diag in self.diagnostics:
+            counts[diag.code] = counts.get(diag.code, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def by_code(self, code: str) -> List[Diagnostic]:
+        """All diagnostics carrying the given code."""
+        return [d for d in self.diagnostics if d.code == code]
+
+    def extend(self, diagnostics: List[Diagnostic]) -> None:
+        self.diagnostics.extend(diagnostics)

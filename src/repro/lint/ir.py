@@ -1,0 +1,172 @@
+"""Lint IR: basic blocks and transaction spans over a lowered stream.
+
+A lowered :class:`~repro.isa.trace.InstructionTrace` is straight-line
+code, but its *persistency* structure is not flat: fences partition it
+into epochs (nothing persists across a fence boundary out of order), and
+transaction marks partition it into atomicity regions.  The IR makes
+both explicit:
+
+* a :class:`BasicBlock` is a maximal run of instructions ending at a
+  fence-class instruction (``sfence``/``mfence``/``pcommit``/``tx-end``);
+  the block's *terminator edge* carries the ordering effect the dataflow
+  engine applies between blocks;
+* a :class:`TxSpan` is one transaction's index range.  Hardware schemes
+  carry explicit ``tx-begin``/``tx-end`` marks; software schemes have no
+  marks, so spans are recovered from the ``txid`` each lowered
+  instruction carries.
+
+The builder never raises on malformed streams (orphan marks, nested
+transactions): shape violations are findings for the rule engine, not
+parse errors — the whole point is linting broken streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.isa.instructions import FENCE_KINDS, Instruction, Kind
+from repro.isa.trace import InstructionTrace
+
+#: Edge kinds a block can end with.
+EDGE_FENCE = "fence"
+EDGE_TX_BEGIN = "tx-begin"
+EDGE_EXIT = "exit"
+
+
+@dataclass(frozen=True)
+class BasicBlock:
+    """One maximal fence-free run ``[start, end)`` of the stream.
+
+    ``terminator`` is the index of the fence-class instruction ending the
+    block (always ``end - 1``), or ``None`` when the block ends because a
+    ``tx-begin`` leader or the end of the trace follows.
+    """
+
+    bid: int
+    start: int
+    end: int
+    edge: str
+    terminator: Optional[int] = None
+
+    def __len__(self) -> int:
+        return self.end - self.start
+
+    def indices(self) -> range:
+        return range(self.start, self.end)
+
+
+@dataclass(frozen=True)
+class TxSpan:
+    """One transaction's index range ``[begin, end]`` (inclusive).
+
+    ``explicit`` spans come from ``tx-begin``/``tx-end`` marks; implicit
+    spans are reconstructed from instruction ``txid`` fields (software
+    schemes).  ``closed`` is False for a dangling explicit span whose
+    ``tx-end`` never appears.
+    """
+
+    txid: int
+    begin: int
+    end: int
+    explicit: bool
+    closed: bool = True
+
+
+@dataclass
+class LintIR:
+    """Blocks plus transaction spans for one thread's stream."""
+
+    trace: InstructionTrace
+    blocks: List[BasicBlock] = field(default_factory=list)
+    spans: List[TxSpan] = field(default_factory=list)
+    #: instruction index -> owning block id.
+    block_of: List[int] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.trace)
+
+    def instruction(self, index: int) -> Instruction:
+        return self.trace[index]
+
+    def span_of(self, index: int) -> Optional[TxSpan]:
+        """The transaction span containing ``index``, if any."""
+        for span in self.spans:
+            if span.begin <= index <= span.end:
+                return span
+        return None
+
+
+def _build_blocks(trace: InstructionTrace) -> List[BasicBlock]:
+    blocks: List[BasicBlock] = []
+    start = 0
+
+    def flush(end: int, edge: str, terminator: Optional[int]) -> None:
+        nonlocal start
+        if end > start:
+            blocks.append(
+                BasicBlock(
+                    bid=len(blocks), start=start, end=end, edge=edge, terminator=terminator
+                )
+            )
+        start = end
+
+    for index, instr in enumerate(trace):
+        if instr.kind is Kind.TX_BEGIN and index > start:
+            # tx-begin is a block leader: close the running block first.
+            flush(index, EDGE_TX_BEGIN, None)
+        if instr.kind in FENCE_KINDS:
+            flush(index + 1, EDGE_FENCE, index)
+    flush(len(trace), EDGE_EXIT, None)
+    return blocks
+
+
+def _explicit_spans(trace: InstructionTrace) -> List[TxSpan]:
+    spans: List[TxSpan] = []
+    open_begin: Optional[int] = None
+    open_txid = 0
+    for index, instr in enumerate(trace):
+        if instr.kind is Kind.TX_BEGIN:
+            if open_begin is None:
+                open_begin, open_txid = index, instr.txid
+            # Nested tx-begin: leave the outer span open; the rule engine
+            # reports the shape violation.
+        elif instr.kind is Kind.TX_END and open_begin is not None:
+            spans.append(TxSpan(open_txid, open_begin, index, explicit=True))
+            open_begin = None
+    if open_begin is not None:
+        spans.append(
+            TxSpan(open_txid, open_begin, len(trace) - 1, explicit=True, closed=False)
+        )
+    return spans
+
+
+def _implicit_spans(trace: InstructionTrace) -> List[TxSpan]:
+    """Spans recovered from ``txid`` fields (software lowering has no
+    marks; fences inside a transaction carry txid 0, so a span is the
+    min..max index range of each nonzero txid)."""
+    first: Dict[int, int] = {}
+    last: Dict[int, int] = {}
+    for index, instr in enumerate(trace):
+        if instr.txid:
+            first.setdefault(instr.txid, index)
+            last[instr.txid] = index
+    return [
+        TxSpan(txid, first[txid], last[txid], explicit=False)
+        for txid in sorted(first)
+    ]
+
+
+def build_ir(trace: InstructionTrace, tx_marks: bool) -> LintIR:
+    """Build the IR for one stream.
+
+    ``tx_marks`` selects explicit (hardware schemes) vs implicit
+    (software schemes) transaction-span recovery.
+    """
+    blocks = _build_blocks(trace)
+    spans = _explicit_spans(trace) if tx_marks else _implicit_spans(trace)
+    block_of = [0] * len(trace)
+    for block in blocks:
+        for index in block.indices():
+            block_of[index] = block.bid
+    return LintIR(trace=trace, blocks=blocks, spans=spans, block_of=block_of)

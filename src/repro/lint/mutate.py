@@ -1,0 +1,197 @@
+"""Trace mutators: manufacture persistency-ordering bugs.
+
+Each mutator takes a correct lowered :class:`InstructionTrace` and
+returns a new trace with one specific contract violation injected —
+exactly the bug class a given lint rule exists to catch.  They are used
+three ways:
+
+* the deliberately-buggy stream corpus under ``tests/`` exercises one
+  rule per mutator;
+* :mod:`repro.lint.crossval` maps the fault campaign's
+  deliberate-violation :class:`~repro.faults.plan.FaultPlan` modes onto
+  mutations, closing the static/dynamic loop;
+* ad-hoc debugging (`what would the lint say if codegen forgot X?`).
+
+All mutators preserve ``dep`` consistency: indices are remapped after
+dropping or reordering, and a dependence on a dropped instruction
+becomes ``-1`` (that *is* the bug for the dangling-producer mutator).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.isa.instructions import Instruction, Kind
+from repro.isa.trace import InstructionTrace
+
+#: A mutator: correct stream in, buggy stream out.
+Mutator = Callable[[InstructionTrace], InstructionTrace]
+
+
+def rebuild(
+    trace: InstructionTrace,
+    order: Sequence[int],
+    overrides: Optional[Dict[int, Instruction]] = None,
+) -> InstructionTrace:
+    """A new trace holding ``trace[i] for i in order`` with deps remapped.
+
+    ``order`` lists surviving *old* indices in their new order.
+    ``overrides`` substitutes whole instructions by old index (applied
+    before dep remapping).  A dep pointing at a dropped instruction, or
+    at one that now comes later, is cleared to ``-1``.
+    """
+    overrides = overrides or {}
+    new_index = {old: new for new, old in enumerate(order)}
+    out = InstructionTrace(thread_id=trace.thread_id)
+    for new, old in enumerate(order):
+        instr = overrides.get(old, trace[old])
+        dep = instr.dep
+        if dep >= 0:
+            mapped = new_index.get(dep, -1)
+            dep = mapped if 0 <= mapped < new else -1
+        out.append(replace(instr, dep=dep))
+    return out
+
+
+def _nth_index(
+    trace: InstructionTrace,
+    predicate: Callable[[int, Instruction], bool],
+    nth: int,
+) -> int:
+    """Old index of the ``nth`` (1-based) instruction matching ``predicate``."""
+    seen = 0
+    for index, instr in enumerate(trace):
+        if predicate(index, instr):
+            seen += 1
+            if seen == nth:
+                return index
+    raise ValueError(f"trace has only {seen} matching instructions, wanted #{nth}")
+
+
+def drop_nth(
+    trace: InstructionTrace,
+    predicate: Callable[[int, Instruction], bool],
+    nth: int = 1,
+) -> InstructionTrace:
+    """Drop the ``nth`` instruction matching ``predicate``."""
+    target = _nth_index(trace, predicate, nth)
+    return rebuild(trace, [i for i in range(len(trace)) if i != target])
+
+
+def drop_every(
+    trace: InstructionTrace,
+    predicate: Callable[[int, Instruction], bool],
+    every: int,
+) -> InstructionTrace:
+    """Drop every ``every``-th instruction matching ``predicate``
+    (``every=1`` drops them all) — the static analog of the fault
+    injector's periodic admission drops."""
+    if every < 1:
+        raise ValueError("drop period must be >= 1")
+    seen = 0
+    keep: List[int] = []
+    for index, instr in enumerate(trace):
+        if predicate(index, instr):
+            seen += 1
+            if seen % every == 0:
+                continue
+        keep.append(index)
+    return rebuild(trace, keep)
+
+
+# -- named mutators (the corpus) ------------------------------------------------
+
+
+def drop_log_flush(trace: InstructionTrace, nth: int = 1) -> InstructionTrace:
+    """Proteus: drop the ``nth`` ``log-flush`` — its store loses undo
+    coverage (P001) and its ``log-load`` goes dead (W102)."""
+    return drop_nth(trace, lambda i, ins: ins.kind is Kind.LOG_FLUSH, nth)
+
+
+def drop_sfence(trace: InstructionTrace, nth: int = 1) -> InstructionTrace:
+    """Drop the ``nth`` ``sfence``.  Which rule fires depends on which
+    barrier dies: after the log phase -> P002, after the logFlag set ->
+    P003, after the body flush -> P005."""
+    return drop_nth(trace, lambda i, ins: ins.kind is Kind.SFENCE, nth)
+
+
+def drop_clwb_tagged(
+    trace: InstructionTrace, tag: str, nth: int = 1
+) -> InstructionTrace:
+    """Drop the ``nth`` ``clwb`` carrying ``tag`` (``"log"`` -> P002,
+    ``"logflag"`` -> P003, ``""`` (data) -> P005)."""
+    return drop_nth(
+        trace, lambda i, ins: ins.kind is Kind.CLWB and ins.tag == tag, nth
+    )
+
+
+def drop_clwb_tagged_every(
+    trace: InstructionTrace, tag: str, every: int
+) -> InstructionTrace:
+    """Periodic form of :func:`drop_clwb_tagged`."""
+    return drop_every(
+        trace, lambda i, ins: ins.kind is Kind.CLWB and ins.tag == tag, every
+    )
+
+
+def drop_log_flush_every(trace: InstructionTrace, every: int) -> InstructionTrace:
+    """Periodic form of :func:`drop_log_flush`."""
+    return drop_every(trace, lambda i, ins: ins.kind is Kind.LOG_FLUSH, every)
+
+
+def duplicate_clwb_tagged(
+    trace: InstructionTrace, tag: str = "", nth: int = 1
+) -> InstructionTrace:
+    """Repeat the ``nth`` ``clwb`` carrying ``tag`` back to back — the
+    second flush hits an already-pending line (W101)."""
+    target = _nth_index(
+        trace, lambda i, ins: ins.kind is Kind.CLWB and ins.tag == tag, nth
+    )
+    order = list(range(target + 1)) + [target] + list(range(target + 1, len(trace)))
+    return rebuild(trace, order)
+
+
+def reorder_store_before_log(trace: InstructionTrace, nth: int = 1) -> InstructionTrace:
+    """Hoist the ``nth`` transactional data store to the top of its
+    transaction, ahead of the logging that covers it (P002).
+
+    Works for both lowerings: under Proteus the store jumps its
+    ``log-load``/``log-flush`` pair; under PMEM it jumps the whole
+    log-copy/flush/logFlag prologue.
+    """
+    target = _nth_index(
+        trace, lambda i, ins: ins.kind is Kind.STORE and ins.tag == "data", nth
+    )
+    txid = trace[target].txid
+    insert_at = next(i for i, ins in enumerate(trace) if ins.txid == txid)
+    if trace[insert_at].kind is Kind.TX_BEGIN:
+        insert_at += 1
+    order = list(range(insert_at)) + [target]
+    order += [i for i in range(insert_at, len(trace)) if i != target]
+    return rebuild(trace, order)
+
+
+def orphan_tx_end(trace: InstructionTrace, nth: int = 1) -> InstructionTrace:
+    """Drop the ``nth`` ``tx-begin``, orphaning its ``tx-end`` and
+    pushing its stores outside any transaction (P004)."""
+    return drop_nth(trace, lambda i, ins: ins.kind is Kind.TX_BEGIN, nth)
+
+
+def dangling_tx_begin(trace: InstructionTrace, nth: int = 1) -> InstructionTrace:
+    """Drop the ``nth`` ``tx-end``, leaving its ``tx-begin`` open (P004)."""
+    return drop_nth(trace, lambda i, ins: ins.kind is Kind.TX_END, nth)
+
+
+def dangling_log_flush(trace: InstructionTrace, nth: int = 1) -> InstructionTrace:
+    """Clear the ``nth`` ``log-flush``'s producer dependence (P006)."""
+    target = _nth_index(trace, lambda i, ins: ins.kind is Kind.LOG_FLUSH, nth)
+    override = replace(trace[target], dep=-1)
+    return rebuild(trace, range(len(trace)), overrides={target: override})
+
+
+def store_outside_tx(trace: InstructionTrace, addr: int = 0x1_0000_1000) -> InstructionTrace:
+    """Append a bare persistent store after the last transaction (P004)."""
+    out = rebuild(trace, range(len(trace)))
+    out.append(Instruction(Kind.STORE, addr=addr, size=8, txid=0, tag="data"))
+    return out

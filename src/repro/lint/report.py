@@ -1,0 +1,87 @@
+"""Text and JSON reporters for lint results.
+
+The JSON schema is versioned and append-only: existing keys never change
+meaning or type, new keys may be added alongside a version bump.  CI and
+external tooling key on it (see ``tests/test_lint_json.py``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Sequence
+
+from repro.lint.diagnostics import Diagnostic, LintResult, RULES
+
+#: Current JSON schema version.
+JSON_SCHEMA_VERSION = 1
+
+
+def _diagnostic_dict(diag: Diagnostic) -> Dict[str, Any]:
+    return {
+        "code": diag.code,
+        "severity": str(diag.severity),
+        "thread": diag.thread_id,
+        "index": diag.index,
+        "addr": f"{diag.addr:#x}" if diag.addr is not None else None,
+        "txid": diag.txid,
+        "message": diag.message,
+    }
+
+
+def result_dict(result: LintResult) -> Dict[str, Any]:
+    """The stable JSON document for one lint result."""
+    return {
+        "version": JSON_SCHEMA_VERSION,
+        "tool": "persist-lint",
+        "scheme": str(result.scheme),
+        "workload": result.workload,
+        "threads": result.threads,
+        "instructions": result.instructions,
+        "summary": {
+            "errors": result.errors,
+            "warnings": result.warnings,
+            "by_code": result.codes(),
+        },
+        "diagnostics": [_diagnostic_dict(d) for d in result.diagnostics],
+    }
+
+
+def render_json(results: Sequence[LintResult]) -> str:
+    """One JSON document covering one or more lint results."""
+    return json.dumps(
+        {
+            "version": JSON_SCHEMA_VERSION,
+            "tool": "persist-lint",
+            "results": [result_dict(result) for result in results],
+        },
+        indent=2,
+        sort_keys=False,
+    )
+
+
+def render_text(result: LintResult, verbose: bool = False,
+                max_diagnostics: int = 20) -> str:
+    """Human-readable report for one lint result."""
+    verdict = "clean" if result.ok else "FAIL"
+    lines: List[str] = [
+        f"persist-lint: {result.scheme} x {result.workload} "
+        f"({result.threads} thread{'s' if result.threads != 1 else ''}, "
+        f"{result.instructions} instructions): {result.errors} error(s), "
+        f"{result.warnings} warning(s) -> {verdict}"
+    ]
+    shown = result.diagnostics if verbose else result.diagnostics[:max_diagnostics]
+    for diag in shown:
+        lines.append(f"  {diag.format()}")
+    hidden = len(result.diagnostics) - len(shown)
+    if hidden > 0:
+        lines.append(f"  ... {hidden} more (use --verbose)")
+    return "\n".join(lines)
+
+
+def rule_catalog() -> str:
+    """The rule table (used by ``--rules`` and the docs)."""
+    lines = ["code  severity  title", "----  --------  -----"]
+    for code in sorted(RULES):
+        rule = RULES[code]
+        lines.append(f"{code}  {str(rule.severity):8s}  {rule.title}")
+    return "\n".join(lines)

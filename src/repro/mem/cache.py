@@ -9,7 +9,7 @@ hierarchy, which knows the per-level latencies.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional
 
 from repro.sim.config import CacheConfig
 from repro.sim.stats import Stats

@@ -24,7 +24,7 @@ from __future__ import annotations
 import math
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.mem.nvm import NvmDevice
 

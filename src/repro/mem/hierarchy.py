@@ -15,7 +15,7 @@ coherence protocol (noted in DESIGN.md).
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Callable, Optional
 
 from repro.mem.cache import Cache, CacheLine
 from repro.mem.memctrl import MemoryController

@@ -15,8 +15,8 @@ Figure 8 reports, keyed by write category (``data``, ``log``,
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from dataclasses import dataclass
+from typing import Callable, List, Optional
 
 from repro.sim.config import MemoryConfig
 from repro.sim.engine import Engine

@@ -10,8 +10,8 @@ path that stalls ``clwb`` acknowledgments and, through them, fences.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from dataclasses import dataclass
+from typing import Callable, List, Optional
 
 from repro.sim.engine import Engine
 from repro.sim.stats import Stats

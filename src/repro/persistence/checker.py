@@ -15,9 +15,8 @@ cap; ``exhaustive=False`` in the result reports when that happened.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+from typing import FrozenSet, Iterable, List, Set
 
 from repro.core.schemes import Scheme
 from repro.isa.instructions import CACHE_LINE

@@ -12,7 +12,7 @@ log-before-data invariant the hardware guarantees.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Set
 
 from repro.core.schemes import Scheme

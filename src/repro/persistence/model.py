@@ -23,7 +23,7 @@ must use the *earliest* entry per address (paper section 4.2).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.schemes import Scheme

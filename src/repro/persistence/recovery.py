@@ -24,9 +24,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Set
 
-from repro.core.schemes import Scheme
 from repro.persistence.crash import CrashImage
-from repro.persistence.model import LogEntry, images_equal
+from repro.persistence.model import images_equal
 
 
 class RecoveryError(RuntimeError):

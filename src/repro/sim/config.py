@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict
 
 #: CPU clock in GHz, used only to convert nanoseconds to cycles.
 CPU_GHZ = 3.4

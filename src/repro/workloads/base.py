@@ -15,7 +15,7 @@ can validate results against it.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.isa.ops import Op, TxRecord
 from repro.isa.trace import OpTrace

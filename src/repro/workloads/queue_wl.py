@@ -7,7 +7,7 @@ length word (+16).  One enqueue or dequeue is one durable transaction.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 from repro.isa.ops import TxRecord
 from repro.workloads.base import Workload

@@ -12,7 +12,7 @@ fixups may temporarily recolor it, as in the textbook algorithm).
 
 from __future__ import annotations
 
-from typing import List, Optional, Set
+from typing import List, Set
 
 from repro.isa.ops import TxRecord
 from repro.workloads.base import Workload

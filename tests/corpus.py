@@ -1,0 +1,171 @@
+"""Deliberately-buggy instruction-stream corpus.
+
+Each case starts from a *correct* lowered stream (the same lowering the
+simulator executes) and applies one mutator from
+:mod:`repro.lint.mutate` to manufacture one specific
+persistency-ordering bug — exactly the bug class one lint rule exists to
+catch.  ``tests/test_lint_rules.py`` drives one test per case and checks
+that every diagnostic code in the catalog is covered;
+``tests/test_lint_crossval.py`` reuses the clean traces for the
+static/dynamic cross-check.
+
+This module is plain data, not a pytest file.
+"""
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Callable, Tuple
+
+from repro.core.schemes import Scheme
+from repro.faults.campaign import resolve_workload
+from repro.isa.trace import InstructionTrace, OpTrace
+from repro.lint import mutate
+from repro.lint.runner import lower_for_lint
+from repro.workloads.base import generate_traces
+
+#: Small but non-trivial run: several multi-store transactions.
+TRACE_KWARGS = dict(init_ops=12, sim_ops=6, think_instructions=0)
+
+
+@lru_cache(maxsize=None)
+def clean_op_trace(workload: str = "QE", seed: int = 7) -> OpTrace:
+    """One thread's op trace for the corpus workload."""
+    workload_cls = resolve_workload(workload)
+    (trace,) = generate_traces(workload_cls, threads=1, seed=seed, **TRACE_KWARGS)
+    return trace
+
+
+@lru_cache(maxsize=None)
+def clean_trace(scheme: str, workload: str = "QE", seed: int = 7) -> InstructionTrace:
+    """A correct lowered stream for ``scheme`` (cached; treat as frozen)."""
+    lowered, _ = lower_for_lint(clean_op_trace(workload, seed), Scheme.parse(scheme))
+    return lowered
+
+
+@dataclass(frozen=True)
+class CorpusCase:
+    """One manufactured bug: mutate a clean stream, expect these codes."""
+
+    name: str
+    scheme: str
+    mutator: Callable[[InstructionTrace], InstructionTrace]
+    expected: Tuple[str, ...]
+
+    def buggy_trace(self) -> InstructionTrace:
+        return self.mutator(clean_trace(self.scheme))
+
+
+CORPUS: Tuple[CorpusCase, ...] = (
+    # -- software undo logging (PMEM) --------------------------------------
+    CorpusCase(
+        "pmem-drop-log-clwb",
+        "pmem",
+        lambda t: mutate.drop_clwb_tagged(t, "log"),
+        ("P002",),
+    ),
+    CorpusCase(
+        "pmem-drop-flag-clwb",
+        "pmem",
+        lambda t: mutate.drop_clwb_tagged(t, "logflag"),
+        ("P003",),
+    ),
+    CorpusCase(
+        "pmem-drop-sfence-after-log",
+        "pmem",
+        lambda t: mutate.drop_sfence(t, 1),
+        ("P002",),
+    ),
+    CorpusCase(
+        "pmem-drop-sfence-after-flag-set",
+        "pmem",
+        lambda t: mutate.drop_sfence(t, 2),
+        ("P003",),
+    ),
+    CorpusCase(
+        "pmem-drop-sfence-after-body",
+        "pmem",
+        lambda t: mutate.drop_sfence(t, 3),
+        ("P005",),
+    ),
+    CorpusCase(
+        "pmem-reorder-store-before-log",
+        "pmem",
+        mutate.reorder_store_before_log,
+        ("P002",),
+    ),
+    CorpusCase(
+        "pmem-store-outside-tx",
+        "pmem",
+        mutate.store_outside_tx,
+        ("P004",),
+    ),
+    CorpusCase(
+        "pmem-redundant-data-clwb",
+        "pmem",
+        lambda t: mutate.duplicate_clwb_tagged(t, ""),
+        ("W101",),
+    ),
+    # -- Proteus (software-supported hardware logging) ---------------------
+    CorpusCase(
+        "proteus-drop-all-log-flushes",
+        "proteus",
+        lambda t: mutate.drop_log_flush_every(t, 1),
+        ("P001", "W102"),
+    ),
+    CorpusCase(
+        "proteus-drop-one-log-flush",
+        "proteus",
+        lambda t: mutate.drop_log_flush(t, 1),
+        ("P002", "W102"),
+    ),
+    CorpusCase(
+        "proteus-reorder-store-before-log",
+        "proteus",
+        mutate.reorder_store_before_log,
+        ("P002",),
+    ),
+    CorpusCase(
+        "proteus-orphan-tx-end",
+        "proteus",
+        mutate.orphan_tx_end,
+        ("P004",),
+    ),
+    CorpusCase(
+        "proteus-dangling-tx-begin",
+        "proteus",
+        mutate.dangling_tx_begin,
+        ("P004",),
+    ),
+    CorpusCase(
+        # A flush with no producing log-load carries no undo data, so the
+        # store it was meant to cover is flagged too.
+        "proteus-dangling-log-flush",
+        "proteus",
+        mutate.dangling_log_flush,
+        ("P006", "P002"),
+    ),
+    CorpusCase(
+        "proteus-drop-data-clwb",
+        "proteus",
+        lambda t: mutate.drop_clwb_tagged(t, ""),
+        ("P005",),
+    ),
+    # -- ATOM (pure hardware logging) --------------------------------------
+    CorpusCase(
+        "atom-drop-data-clwb",
+        "atom",
+        lambda t: mutate.drop_clwb_tagged(t, ""),
+        ("P005",),
+    ),
+    CorpusCase(
+        "atom-orphan-tx-end",
+        "atom",
+        mutate.orphan_tx_end,
+        ("P004",),
+    ),
+)
+
+
+def cases_for_code(code: str) -> Tuple[CorpusCase, ...]:
+    """Corpus cases expected to raise ``code``."""
+    return tuple(case for case in CORPUS if code in case.expected)

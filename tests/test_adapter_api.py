@@ -1,10 +1,9 @@
 """Tests for the LoggingAdapter base API and NullAdapter behavior."""
 
-import pytest
 
 from repro.cpu.adapter import LoggingAdapter, NullAdapter
 from repro.cpu.ooo_core import DynInstr
-from repro.isa.instructions import store, tx_end
+from repro.isa.instructions import store
 
 
 def test_base_adapter_is_inert():

@@ -1,7 +1,6 @@
 """Tiny-scale checks of the sensitivity-experiment drivers (Figures 9,
 10, 12) and the evaluation cache."""
 
-import pytest
 
 from repro.analysis import fig9_slow_nvm, fig10_dram, fig12_lpq_sweep, run_evaluation
 from repro.analysis.experiments import benchmark_traces, run_cached

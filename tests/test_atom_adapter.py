@@ -1,6 +1,5 @@
 """Tests for the ATOM hardware-logging baseline."""
 
-import pytest
 
 from repro.core.schemes import Scheme
 from repro.isa.ops import Op, TxRecord

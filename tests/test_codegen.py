@@ -6,7 +6,7 @@ from repro.core.codegen import SW_LOG_BYTES_PER_LINE, CodeGenerator, ThreadLayou
 from repro.core.schemes import Scheme
 from repro.isa.instructions import Kind
 from repro.isa.ops import Op, TxRecord
-from repro.isa.trace import InstructionTrace, OpTrace
+from repro.isa.trace import OpTrace
 
 
 def make_layout():
@@ -73,7 +73,6 @@ def test_software_log_ordering():
     """Log copy stores come before the logFlag store, which comes before
     the first data store."""
     out = lower(Scheme.PMEM)
-    kinds_tags = [(i.kind, i.tag) for i in out]
     flag_set = next(
         n for n, i in enumerate(out) if i.kind is Kind.STORE and i.tag == "logflag"
     )

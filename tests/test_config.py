@@ -6,7 +6,6 @@ from repro.sim.config import (
     AtomConfig,
     CacheConfig,
     CoreConfig,
-    MemoryConfig,
     ProteusConfig,
     SystemConfig,
     dram_config,

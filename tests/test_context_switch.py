@@ -6,7 +6,6 @@ pending LPQ entries out to NVM — conservatively correct because the
 thread may be descheduled indefinitely.
 """
 
-import pytest
 
 from repro.core.schemes import Scheme
 from repro.isa.instructions import Kind, log_save

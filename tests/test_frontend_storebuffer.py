@@ -1,6 +1,5 @@
 """Unit tests for the pipeline front end and the store buffer."""
 
-import pytest
 
 from repro.cpu.frontend import Frontend
 from repro.cpu.store_buffer import StoreBuffer

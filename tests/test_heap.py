@@ -2,12 +2,7 @@
 
 import pytest
 
-from repro.workloads.heap import (
-    ALIGNMENT,
-    PersistentHeap,
-    THREAD_SPAN,
-    ThreadAddressSpace,
-)
+from repro.workloads.heap import ALIGNMENT, PersistentHeap, ThreadAddressSpace
 
 
 def test_thread_spaces_are_disjoint():
@@ -57,7 +52,7 @@ def test_size_classes_do_not_mix():
 def test_live_object_accounting():
     heap = PersistentHeap(ThreadAddressSpace(0))
     a = heap.alloc(64)
-    b = heap.alloc(64)
+    heap.alloc(64)
     assert heap.live_objects == 2
     heap.free(a, 64)
     assert heap.live_objects == 1

@@ -1,6 +1,5 @@
 """Unit tests for the cache hierarchy (L1/L2/L3 + memory path)."""
 
-import pytest
 
 from repro.mem.hierarchy import CacheHierarchy
 from repro.mem.memctrl import MemoryController

@@ -1,7 +1,6 @@
 """Additional cache-hierarchy tests: warmup behavior, multi-level dirty
 handling, and interaction with the WPQ."""
 
-import pytest
 
 from repro.mem.hierarchy import CacheHierarchy
 from repro.mem.memctrl import MemoryController

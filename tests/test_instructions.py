@@ -5,7 +5,6 @@ import pytest
 from repro.isa.instructions import (
     CACHE_LINE,
     LOG_GRAIN,
-    Instruction,
     Kind,
     cache_line_of,
     clwb,

@@ -1,0 +1,129 @@
+"""JSON-reporter schema stability.
+
+CI and external tooling parse this document; the schema is versioned
+and append-only.  These tests pin the exact key sets — adding a key
+requires a deliberate version bump, and removing or retyping one fails
+here first.
+"""
+
+import json
+
+import pytest
+
+from repro.lint import (
+    JSON_SCHEMA_VERSION,
+    lint_instruction_trace,
+    render_json,
+    render_text,
+    result_dict,
+    rule_catalog,
+    RULES,
+)
+from repro.lint.mutate import drop_clwb_tagged
+from tests.corpus import clean_trace
+
+#: The frozen v1 schema: top-level, per-result, and per-diagnostic keys.
+TOP_KEYS = {"version", "tool", "results"}
+RESULT_KEYS = {
+    "version",
+    "tool",
+    "scheme",
+    "workload",
+    "threads",
+    "instructions",
+    "summary",
+    "diagnostics",
+}
+SUMMARY_KEYS = {"errors", "warnings", "by_code"}
+DIAG_KEYS = {"code", "severity", "thread", "index", "addr", "txid", "message"}
+
+
+@pytest.fixture(scope="module")
+def clean_result():
+    return lint_instruction_trace(clean_trace("pmem"), "pmem", workload="QE")
+
+
+@pytest.fixture(scope="module")
+def buggy_result():
+    buggy = drop_clwb_tagged(clean_trace("pmem"), "log")
+    return lint_instruction_trace(buggy, "pmem", workload="QE")
+
+
+def test_schema_version_is_one():
+    assert JSON_SCHEMA_VERSION == 1
+
+
+def test_result_document_keys(buggy_result):
+    doc = result_dict(buggy_result)
+    assert set(doc) == RESULT_KEYS
+    assert doc["version"] == JSON_SCHEMA_VERSION
+    assert doc["tool"] == "persist-lint"
+    assert set(doc["summary"]) == SUMMARY_KEYS
+    for entry in doc["diagnostics"]:
+        assert set(entry) == DIAG_KEYS
+
+
+def test_result_document_types(buggy_result):
+    doc = result_dict(buggy_result)
+    assert isinstance(doc["scheme"], str)
+    assert isinstance(doc["workload"], str)
+    assert isinstance(doc["threads"], int)
+    assert isinstance(doc["instructions"], int)
+    assert isinstance(doc["summary"]["errors"], int)
+    assert isinstance(doc["summary"]["warnings"], int)
+    assert isinstance(doc["summary"]["by_code"], dict)
+    for entry in doc["diagnostics"]:
+        assert entry["code"] in RULES
+        assert entry["severity"] in ("error", "warning")
+        assert isinstance(entry["thread"], int)
+        assert isinstance(entry["index"], int)
+        assert isinstance(entry["message"], str)
+        assert entry["addr"] is None or (
+            isinstance(entry["addr"], str) and entry["addr"].startswith("0x")
+        )
+
+
+def test_summary_matches_diagnostics(buggy_result):
+    doc = result_dict(buggy_result)
+    errors = sum(1 for d in doc["diagnostics"] if d["severity"] == "error")
+    warnings = sum(1 for d in doc["diagnostics"] if d["severity"] == "warning")
+    assert doc["summary"]["errors"] == errors >= 1
+    assert doc["summary"]["warnings"] == warnings
+    by_code = {}
+    for d in doc["diagnostics"]:
+        by_code[d["code"]] = by_code.get(d["code"], 0) + 1
+    assert doc["summary"]["by_code"] == by_code
+
+
+def test_render_json_round_trips(clean_result, buggy_result):
+    text = render_json([clean_result, buggy_result])
+    doc = json.loads(text)
+    assert set(doc) == TOP_KEYS
+    assert doc["version"] == JSON_SCHEMA_VERSION
+    assert doc["tool"] == "persist-lint"
+    assert len(doc["results"]) == 2
+    assert doc["results"][0]["summary"]["errors"] == 0
+    assert doc["results"][1]["summary"]["errors"] >= 1
+
+
+def test_render_json_is_deterministic(buggy_result):
+    assert render_json([buggy_result]) == render_json([buggy_result])
+
+
+def test_render_text_verdicts(clean_result, buggy_result):
+    assert "clean" in render_text(clean_result)
+    assert "FAIL" in render_text(buggy_result)
+
+
+def test_render_text_truncates_and_verbose_expands(buggy_result):
+    short = render_text(buggy_result, max_diagnostics=1)
+    full = render_text(buggy_result, verbose=True)
+    if len(buggy_result.diagnostics) > 1:
+        assert "more (use --verbose)" in short
+    assert "more (use --verbose)" not in full
+
+
+def test_rule_catalog_lists_every_code():
+    catalog = rule_catalog()
+    for code in RULES:
+        assert code in catalog

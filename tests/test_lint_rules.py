@@ -1,0 +1,93 @@
+"""One lint test per diagnostic code, driven by the buggy-stream corpus.
+
+Every case in :mod:`tests.corpus` mutates a correct lowered stream into
+one specific persistency-ordering bug; persist-lint must flag it with
+the matching code.  A coverage check pins the corpus to the rule
+catalog so new rules cannot land without a corpus case.
+"""
+
+import pytest
+
+from repro.lint import (
+    ERROR_CODES,
+    RULES,
+    WARNING_CODES,
+    Severity,
+    lint_instruction_trace,
+)
+from tests.corpus import CORPUS, CorpusCase, cases_for_code, clean_trace
+
+
+def lint_case(case: CorpusCase):
+    return lint_instruction_trace(
+        case.buggy_trace(), case.scheme, workload=case.name
+    )
+
+
+@pytest.mark.parametrize("case", CORPUS, ids=lambda c: c.name)
+def test_corpus_case_is_flagged(case):
+    result = lint_case(case)
+    codes = result.codes()
+    for code in case.expected:
+        assert codes.get(code, 0) >= 1, (
+            f"{case.name}: expected {code}, got {codes}"
+        )
+
+
+@pytest.mark.parametrize("case", CORPUS, ids=lambda c: c.name)
+def test_corpus_case_error_verdict(case):
+    result = lint_case(case)
+    if any(code in ERROR_CODES for code in case.expected):
+        assert not result.ok
+        assert result.errors >= 1
+    else:
+        # Warning-only bugs do not fail the lint.
+        assert result.ok
+        assert result.warnings >= 1
+
+
+@pytest.mark.parametrize("case", CORPUS, ids=lambda c: c.name)
+def test_corpus_case_raises_no_unexpected_errors(case):
+    """The manufactured bug must not cascade into unrelated error codes."""
+    result = lint_case(case)
+    unexpected = {
+        code
+        for code in result.codes()
+        if code in ERROR_CODES and code not in case.expected
+    }
+    assert not unexpected, (
+        f"{case.name}: unexpected error codes {sorted(unexpected)}"
+    )
+
+
+@pytest.mark.parametrize("code", sorted(RULES))
+def test_every_rule_has_a_corpus_case(code):
+    assert cases_for_code(code), f"no corpus case manufactures {code}"
+
+
+@pytest.mark.parametrize("scheme", ("pmem", "proteus", "atom"))
+def test_corpus_baseline_is_error_clean(scheme):
+    """The streams the corpus mutates must lint clean to begin with."""
+    result = lint_instruction_trace(clean_trace(scheme), scheme)
+    assert result.errors == 0, result.codes()
+
+
+def test_rule_catalog_is_consistent():
+    assert set(RULES) == ERROR_CODES | WARNING_CODES
+    assert not (ERROR_CODES & WARNING_CODES)
+    for code, rule in RULES.items():
+        assert rule.code == code
+        expected = Severity.ERROR if code in ERROR_CODES else Severity.WARNING
+        assert rule.severity is expected
+
+
+def test_diagnostics_carry_locations():
+    """Diagnostics must point at a real instruction in the stream."""
+    case = next(c for c in CORPUS if c.name == "pmem-drop-log-clwb")
+    trace = case.buggy_trace()
+    result = lint_instruction_trace(trace, case.scheme)
+    flagged = result.by_code("P002")
+    assert flagged
+    for diag in flagged:
+        assert 0 <= diag.index < len(trace)
+        assert diag.code in RULES

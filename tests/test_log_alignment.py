@@ -1,0 +1,132 @@
+"""Regression tests for the cache-line alignment / duplicate-line audit.
+
+Misaligned log bases or double-counted candidate lines would silently
+skew the per-entry ``SW_LOG_BYTES_PER_LINE`` accounting (each logged
+line is charged exactly one two-line slot) — these tests pin the
+contract down.
+"""
+
+import pytest
+
+from repro.core.codegen import CodeGenerator, SW_LOG_BYTES_PER_LINE, ThreadLayout
+from repro.core.schemes import Scheme
+from repro.isa.instructions import (
+    CACHE_LINE,
+    Kind,
+    expand_lines,
+    expand_log_blocks,
+)
+from repro.isa.ops import Op, TxRecord
+from repro.isa.trace import OpTrace
+
+
+def make_layout(**overrides):
+    values = dict(
+        sw_log_base=0x10_0000,
+        sw_log_size=64 * SW_LOG_BYTES_PER_LINE,
+        logflag_addr=0x20_0000,
+        hw_log_base=0x30_0000,
+        hw_log_size=1 << 20,
+    )
+    values.update(overrides)
+    return ThreadLayout(**values)
+
+
+class TestExpandHelpers:
+    def test_expand_lines_crossing_boundary(self):
+        assert expand_lines(60, 8) == (0, 64)
+
+    def test_expand_lines_exact_line(self):
+        assert expand_lines(128, 64) == (128,)
+
+    def test_expand_log_blocks_crossing_boundary(self):
+        assert expand_log_blocks(30, 4) == (0, 32)
+
+    def test_expanded_lines_are_unique_and_sorted(self):
+        lines = expand_lines(0x1234, 300)
+        assert list(lines) == sorted(set(lines))
+        blocks = expand_log_blocks(0x1234, 300)
+        assert list(blocks) == sorted(set(blocks))
+
+    @pytest.mark.parametrize("size", [0, -1, -64])
+    def test_non_positive_size_rejected(self, size):
+        with pytest.raises(ValueError):
+            expand_lines(0x1000, size)
+        with pytest.raises(ValueError):
+            expand_log_blocks(0x1000, size)
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ValueError):
+            expand_lines(-8, 8)
+        with pytest.raises(ValueError):
+            expand_log_blocks(-8, 8)
+
+
+class TestLayoutValidation:
+    def test_aligned_layout_accepted(self):
+        make_layout().validate()
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"sw_log_base": 0x10_0020},
+            {"hw_log_base": 0x30_0008},
+            {"logflag_addr": 0x20_0004},
+        ],
+    )
+    def test_misaligned_regions_rejected(self, overrides):
+        with pytest.raises(ValueError):
+            make_layout(**overrides).validate()
+
+    def test_logflag_inside_log_area_rejected(self):
+        with pytest.raises(ValueError):
+            make_layout(logflag_addr=0x10_0000 + 2 * CACHE_LINE).validate()
+
+
+def lower_single(tx, scheme=Scheme.PMEM):
+    generator = CodeGenerator(scheme, make_layout(), 0)
+    trace = OpTrace(thread_id=0)
+    trace.append(tx)
+    return generator.lower_trace(trace)
+
+
+class TestDuplicateCandidateLines:
+    def overlapping_tx(self):
+        tx = TxRecord(txid=1)
+        tx.body = [Op.write(0x1000, 7), Op.write(0x1040, 9)]
+        # Three ranges covering only two distinct lines (0x1000, 0x1040):
+        # a duplicate exact range plus a spanning range.
+        tx.log_candidates = [
+            (0x1000, 64),
+            (0x1000, 64),
+            (0x1000, 128),
+        ]
+        return tx
+
+    def test_each_line_copied_once(self):
+        lowered = lower_single(self.overlapping_tx())
+        headers = [i for i in lowered if i.kind is Kind.STORE and i.tag == "log-hdr"]
+        assert sorted(h.value for h in headers) == [0x1000, 0x1040]
+
+    def test_log_bytes_accounting_not_doubled(self):
+        lowered = lower_single(self.overlapping_tx())
+        log_flushes = [i for i in lowered if i.kind is Kind.CLWB and i.tag == "log"]
+        # Two distinct lines -> two entries -> two log lines flushed each.
+        assert len(log_flushes) == 2 * 2
+
+    def test_slots_are_distinct_and_aligned(self):
+        lowered = lower_single(self.overlapping_tx())
+        headers = [i for i in lowered if i.kind is Kind.STORE and i.tag == "log-hdr"]
+        slots = sorted(h.addr - CACHE_LINE for h in headers)
+        assert len(slots) == len(set(slots))
+        assert all(slot % CACHE_LINE == 0 for slot in slots)
+        assert slots[1] - slots[0] == SW_LOG_BYTES_PER_LINE
+
+    def test_deduped_stream_still_lints_clean(self):
+        from repro.lint import lint_instruction_trace
+
+        lowered = lower_single(self.overlapping_tx())
+        result = lint_instruction_trace(
+            lowered, Scheme.PMEM, layout=make_layout(), workload="overlap"
+        )
+        assert result.ok, result.codes()

@@ -1,7 +1,6 @@
 """Unit tests for the memory controller (WPQ/LPQ paths, forwarding,
 drain policy, pcommit semantics)."""
 
-import pytest
 
 from repro.mem.memctrl import MemoryController
 from repro.sim.config import MemoryConfig

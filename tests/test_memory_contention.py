@@ -1,6 +1,5 @@
 """Tests for memory-system contention behavior across cores."""
 
-import pytest
 
 from repro.core.schemes import Scheme
 from repro.sim.config import fast_nvm_config

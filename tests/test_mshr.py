@@ -1,6 +1,5 @@
 """Tests for the MSHR (outstanding-load) bound."""
 
-import pytest
 
 from repro.sim.config import CoreConfig
 

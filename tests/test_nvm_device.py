@@ -1,6 +1,5 @@
 """Unit tests for the NVM/DRAM device bank model."""
 
-import pytest
 
 from repro.mem.nvm import NvmDevice, NvmRequest, ROW_SHIFT
 from repro.sim.config import MemoryConfig

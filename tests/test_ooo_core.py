@@ -6,7 +6,6 @@ results depend on: width-limited dispatch, in-order retirement, fence
 semantics, store-buffer drain, and stall attribution.
 """
 
-import pytest
 
 from repro.cpu.ooo_core import OooCore
 from repro.isa.instructions import (

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.isa.instructions import Kind, alu, load, store
-from repro.isa.ops import Op, OpKind, TxRecord
+from repro.isa.ops import Op, TxRecord
 from repro.isa.trace import InstructionTrace, OpTrace
 
 

@@ -1,7 +1,6 @@
 """Tests for the Proteus core-side engine, driven through real
 simulations with hand-built transactions."""
 
-import pytest
 
 from repro.core.schemes import Scheme
 from repro.isa.ops import Op, TxRecord

@@ -1,6 +1,5 @@
 """Tests for the hash-map (HM) workload."""
 
-import pytest
 
 from repro.workloads.hashmap_wl import KEY_OFF, NEXT_OFF, HashMapWorkload
 

@@ -1,6 +1,5 @@
 """Tests for the large-transaction linked-list microbenchmark (Table 3)."""
 
-import pytest
 
 from repro.workloads.linkedlist_wl import HEADER_BYTES, LinkedListWorkload
 

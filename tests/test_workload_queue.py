@@ -1,6 +1,5 @@
 """Tests for the queue (QE) workload."""
 
-import pytest
 
 from repro.workloads.queue_wl import HEAD_OFF, LEN_OFF, NEXT_OFF, QueueWorkload
 

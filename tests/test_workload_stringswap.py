@@ -1,6 +1,5 @@
 """Tests for the string-swap (SS) workload."""
 
-import pytest
 
 from repro.workloads.stringswap_wl import LINES_PER_STRING, STRING_BYTES, StringSwapWorkload
 
