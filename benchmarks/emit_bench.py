@@ -1,0 +1,143 @@
+"""Emit a machine-readable benchmark trajectory.
+
+Runs the tier-1 figure/table benchmarks (the same experiment functions
+``pytest benchmarks/`` regenerates) and appends one run record to
+``BENCH_results.json`` at the repo root: per-figure wall time plus the
+figure's key measured metrics (the ``measured_summary`` each
+:class:`~repro.analysis.experiments.EvaluationResult` carries — geomean
+speedups, stall ratios, write amplification, LLT miss rates).
+
+Future PRs compare their run against the recorded trajectory to catch
+perf regressions in the simulator itself (wall time) and model drift
+(metrics).  Usage::
+
+    python benchmarks/emit_bench.py                  # full scale, 4 threads
+    python benchmarks/emit_bench.py --scale 0.25     # quick pass
+    python benchmarks/emit_bench.py --label pr-12 --fresh
+
+Wall times are machine-dependent; metrics are deterministic for a given
+(scale, threads, seed).  The record stores all three knobs so trajectory
+points are comparable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+#: Trajectory file schema (append-only; bump on breaking change).
+TRAJECTORY_SCHEMA_VERSION = 1
+
+#: figure/table name -> repro.analysis function name (tier-1 set).
+FIGURES = {
+    "fig6": "fig6_speedup_nvm",
+    "fig7": "fig7_frontend_stalls",
+    "fig8": "fig8_nvm_writes",
+    "fig9": "fig9_slow_nvm",
+    "fig10": "fig10_dram",
+    "fig11": "fig11_logq_sweep",
+    "fig12": "fig12_lpq_sweep",
+    "table3": "table3_large_transactions",
+    "table4": "table4_llt_miss_rate",
+}
+
+
+def _git_head() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT, capture_output=True, text=True, check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def run_figures(threads: int, scale: float, seed: int, names=None) -> list:
+    """Run each figure once; return per-figure timing + metric records."""
+    import repro.analysis as analysis
+
+    records = []
+    for name, function_name in FIGURES.items():
+        if names and name not in names:
+            continue
+        function = getattr(analysis, function_name)
+        kwargs = {"scale": scale, "seed": seed}
+        if name != "table3":  # table3 sweeps tx sizes single-threaded
+            kwargs["threads"] = threads
+        start = time.perf_counter()
+        result = function(**kwargs)
+        elapsed = time.perf_counter() - start
+        print(f"  {name:<8} {elapsed:8.2f}s  {result.title}")
+        records.append(
+            {
+                "figure": name,
+                "title": result.title,
+                "wall_time_s": round(elapsed, 3),
+                "metrics": {
+                    key: round(value, 4)
+                    for key, value in result.measured_summary.items()
+                },
+            }
+        )
+    return records
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_results.json"))
+    parser.add_argument("--threads", type=int, default=4)
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="operation-count scale factor (default 1.0)")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--label", default=None,
+                        help="run label (default: short git HEAD)")
+    parser.add_argument("--figures", nargs="*", default=None,
+                        choices=sorted(FIGURES), metavar="FIG",
+                        help="subset of figures to run (default: all)")
+    parser.add_argument("--fresh", action="store_true",
+                        help="start a new trajectory instead of appending")
+    args = parser.parse_args(argv)
+
+    label = args.label if args.label is not None else _git_head()
+    print(f"benchmark run '{label}': threads={args.threads} "
+          f"scale={args.scale} seed={args.seed}")
+    start = time.perf_counter()
+    figures = run_figures(args.threads, args.scale, args.seed, args.figures)
+    total = time.perf_counter() - start
+
+    out = Path(args.out)
+    doc = {"schema_version": TRAJECTORY_SCHEMA_VERSION, "runs": []}
+    if out.exists() and not args.fresh:
+        try:
+            previous = json.loads(out.read_text())
+            if previous.get("schema_version") == TRAJECTORY_SCHEMA_VERSION:
+                doc["runs"] = previous.get("runs", [])
+        except (ValueError, OSError):
+            print(f"warning: could not parse {out}; starting fresh",
+                  file=sys.stderr)
+    doc["runs"].append(
+        {
+            "label": label,
+            "threads": args.threads,
+            "scale": args.scale,
+            "seed": args.seed,
+            "total_wall_time_s": round(total, 3),
+            "figures": figures,
+        }
+    )
+    out.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out} ({len(doc['runs'])} run"
+          f"{'s' if len(doc['runs']) != 1 else ''}, "
+          f"{total:.1f}s this run)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

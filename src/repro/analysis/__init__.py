@@ -20,13 +20,23 @@ from repro.analysis.experiments import (
     table4_llt_miss_rate,
 )
 from repro.analysis.lintsweep import LintSweepResult, lint_sweep
+from repro.analysis.profiling import (
+    ProfileCell,
+    ProfileSweepResult,
+    profile_one,
+    profile_sweep,
+)
 from repro.analysis.report import format_table
 
 __all__ = [
     "BENCH_SPECS",
     "EvaluationResult",
     "LintSweepResult",
+    "ProfileCell",
+    "ProfileSweepResult",
     "lint_sweep",
+    "profile_one",
+    "profile_sweep",
     "fig10_dram",
     "fig11_logq_sweep",
     "fig12_lpq_sweep",

@@ -12,6 +12,11 @@ Subcommands:
 * ``lint`` — statically verify the persistency-ordering contract of the
   lowered instruction streams (``persist-lint``); exits nonzero on any
   error-severity diagnostic.
+* ``trace`` — run one benchmark with the cycle-level tracer attached and
+  export a Chrome-trace JSON (Perfetto-loadable) plus a versioned
+  summary with per-transaction critical-path attribution.
+* ``profile`` — trace the scheme×workload matrix and print the
+  bottleneck-attribution report (where blocked cycles go, per scheme).
 
 Examples::
 
@@ -22,6 +27,8 @@ Examples::
     python -m repro faults --scheme proteus --workload btree --crashes 200 --seed 7
     python -m repro lint --scheme all --workload all
     python -m repro lint --scheme pmem --workload btree --json
+    python -m repro trace --scheme proteus --workload hashmap --out trace.json
+    python -m repro profile --scheme all --workload all --scale 0.1
 
 Scheme and workload names are forgiving: ``sw``/``pmem``, ``atom``,
 ``proteus``, ``btree``/``BT``, ``queue``/``QE``, … — an unknown name
@@ -191,6 +198,7 @@ def cmd_faults(args) -> int:
         seed=args.seed,
         threads=args.threads,
         mode=args.faults,
+        trace_tail=args.trace_tail,
         init_ops=args.init,
         sim_ops=args.ops,
         think_instructions=args.think,
@@ -240,6 +248,85 @@ def cmd_lint(args) -> int:
         return 1
     if args.strict_warnings and sweep.warnings:
         return 1
+    return 0
+
+
+def cmd_trace(args) -> int:
+    from repro.obs import (
+        Tracer,
+        ascii_timeline,
+        build_tx_spans,
+        chrome_trace,
+        render_summary_json,
+        summary_json,
+        to_chrome_json,
+        validate_chrome_trace,
+        validate_summary,
+    )
+
+    scheme = Scheme.parse(args.scheme)
+    workload = _workload_cls(args).name
+    tracer = Tracer(sample_interval=args.sample_interval)
+    result = run_trace(_traces(args), scheme, _config(args), tracer=tracer)
+    events = tracer.events
+    spans = build_tx_spans(events)
+
+    doc = chrome_trace(
+        events,
+        spans,
+        metadata={
+            "scheme": str(scheme),
+            "workload": workload,
+            "threads": args.threads,
+            "seed": args.seed,
+        },
+    )
+    summary = summary_json(
+        events, str(scheme), workload, result.cycles,
+        stats=result.stats.snapshot(), spans=spans,
+    )
+    problems = validate_chrome_trace(doc) + validate_summary(summary)
+    if problems:
+        for problem in problems:
+            print(f"schema: {problem}", file=sys.stderr)
+        return 1
+
+    with open(args.out, "w") as handle:
+        handle.write(to_chrome_json(doc))
+    print(f"{workload} under {scheme}: {result.cycles:,} cycles, "
+          f"{tracer.emitted:,} events, {len(spans)} transactions")
+    print(f"wrote {args.out}  (load in Perfetto / chrome://tracing)")
+    if args.summary_out:
+        with open(args.summary_out, "w") as handle:
+            handle.write(render_summary_json(summary) + "\n")
+        print(f"wrote {args.summary_out}")
+    blocked = summary["transactions"]["blocked_cycles"]
+    print("blocked cycles: " + "  ".join(
+        f"{name}={blocked[name]:,}" for name in ("logging", "memory", "fence")
+    ))
+    if args.ascii:
+        print()
+        print(ascii_timeline(events, spans))
+    return 0
+
+
+def cmd_profile(args) -> int:
+    from repro.analysis.profiling import DEFAULT_PROFILE_SCALE, profile_sweep
+    from repro.faults.campaign import resolve_workload
+
+    schemes = None if args.scheme == "all" else [Scheme.parse(args.scheme)]
+    if args.benchmark == "all":
+        workloads = None
+    else:
+        workloads = [resolve_workload(args.benchmark).name]
+    sweep = profile_sweep(
+        schemes=schemes,
+        workloads=workloads,
+        threads=args.threads,
+        scale=DEFAULT_PROFILE_SCALE if args.scale is None else args.scale,
+        seed=args.seed,
+    )
+    print(sweep.report())
     return 0
 
 
@@ -302,6 +389,11 @@ def build_parser() -> argparse.ArgumentParser:
                                help="write the full report to this file")
     faults_parser.add_argument("--verbose", action="store_true",
                                help="print the per-case report")
+    faults_parser.add_argument(
+        "--trace-tail", type=int, default=0, metavar="CYCLES",
+        help="record a pre-crash event ring buffer and attach the "
+             "trailing CYCLES of events to every crash capture",
+    )
     faults_parser.set_defaults(func=cmd_faults)
 
     lint_parser = subparsers.add_parser(
@@ -330,6 +422,39 @@ def build_parser() -> argparse.ArgumentParser:
     lint_parser.add_argument("--verbose", action="store_true",
                              help="print every diagnostic, warnings included")
     lint_parser.set_defaults(func=cmd_lint)
+
+    trace_parser = subparsers.add_parser(
+        "trace",
+        help="trace one run and export Chrome-trace JSON + summary",
+    )
+    _add_workload_args(trace_parser)
+    trace_parser.add_argument("--scheme", default="Proteus")
+    trace_parser.add_argument("--out", default="trace.json",
+                              help="Chrome-trace JSON output path")
+    trace_parser.add_argument("--summary-out", default=None,
+                              help="also write the versioned JSON summary here")
+    trace_parser.add_argument(
+        "--sample-interval", type=int, default=100, metavar="CYCLES",
+        help="occupancy sampling period in cycles (default 100)",
+    )
+    trace_parser.add_argument("--ascii", action="store_true",
+                              help="print the ASCII transaction timeline")
+    trace_parser.set_defaults(func=cmd_trace)
+
+    profile_parser = subparsers.add_parser(
+        "profile",
+        help="bottleneck-attribution sweep over scheme x workload",
+    )
+    profile_parser.add_argument("--scheme", default="all",
+                                help="scheme name or 'all' (default)")
+    profile_parser.add_argument(
+        "--workload", "--benchmark", dest="benchmark", default="all",
+        help="paper code, friendly name, or 'all' (default)",
+    )
+    profile_parser.add_argument("--threads", type=int, default=1)
+    profile_parser.add_argument("--scale", type=float, default=None)
+    profile_parser.add_argument("--seed", type=int, default=7)
+    profile_parser.set_defaults(func=cmd_profile)
     return parser
 
 

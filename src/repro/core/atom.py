@@ -92,6 +92,11 @@ class AtomAdapter(LoggingAdapter):
             self.fault_hooks.on_log_resolved(
                 self.core_id, self.current_txid, slot, line
             )
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "log", "atom-log", tid=self.core_id, seq=dyn.seq,
+                log_from=line, log_to=slot, txid=self.current_txid,
+            )
         self.memctrl.submit_log(
             slot,
             thread_id=self.core_id,
@@ -102,6 +107,11 @@ class AtomAdapter(LoggingAdapter):
     def _log_acked(self, dyn: DynInstr, line: int, slot: int) -> None:
         if self.fault_hooks is not None:
             self.fault_hooks.on_log_durable(self.core_id, slot)
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "log", "atom-ack", tid=self.core_id, seq=dyn.seq,
+                log_to=slot, txid=self.current_txid,
+            )
         dyn.log_acked = True
         self._logged_lines.add(line)
         self._request_outstanding = False
@@ -133,6 +143,11 @@ class AtomAdapter(LoggingAdapter):
         """
         tracked = self._log_slots[: self.config.tracker_entries]
         untracked = self._log_slots[self.config.tracker_entries:]
+        if self.tracer.enabled and self._log_slots:
+            self.tracer.instant(
+                "log", "truncate", tid=self.core_id, txid=self.current_txid,
+                entries=len(self._log_slots), scans=len(untracked),
+            )
         for slot in tracked:
             self.stats.add("atom.truncation_writes")
             self.memctrl.write(

@@ -133,6 +133,11 @@ class ProteusAdapter(LoggingAdapter):
             dyn.llt_hit = True
             self.logq.cancel(dyn.logq_entry)
             self.stats.add("proteus.flushes_filtered")
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    "log", "llt-squash", tid=self.core_id, seq=dyn.seq,
+                    block=dyn.instr.addr, txid=dyn.instr.txid,
+                )
             self.core.complete_after(dyn, 1)
             return
         self._try_resolve(dyn)
@@ -153,6 +158,11 @@ class ProteusAdapter(LoggingAdapter):
         log_to = self.log_area.next_slot()
         self.logq.resolve(entry, log_to)
         self.stats.add("proteus.flushes_issued")
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "log", "flush-issue", tid=self.core_id, seq=dyn.seq,
+                log_from=entry.log_from, log_to=log_to, txid=entry.txid,
+            )
         if self.fault_hooks is not None:
             self.fault_hooks.on_log_resolved(
                 self.core_id, entry.txid, log_to, entry.log_from
@@ -180,6 +190,11 @@ class ProteusAdapter(LoggingAdapter):
     def _flush_acked(self, dyn: DynInstr) -> None:
         if self.fault_hooks is not None:
             self.fault_hooks.on_log_durable(self.core_id, dyn.logq_entry.log_to)
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "log", "flush-ack", tid=self.core_id, seq=dyn.seq,
+                log_to=dyn.logq_entry.log_to, txid=dyn.logq_entry.txid,
+            )
         self.logq.complete(dyn.logq_entry)
         self.core.complete_after(dyn, 0)
 
@@ -199,10 +214,15 @@ class ProteusAdapter(LoggingAdapter):
             self.stats.add("tx.begun")
         elif kind is Kind.TX_END:
             # (The LLT was already cleared in program order at dispatch.)
-            self.memctrl.flash_clear(self.core_id, dyn.instr.txid)
+            dropped = self.memctrl.flash_clear(self.core_id, dyn.instr.txid)
             self.log_area.end_transaction()
             self.current_txid = 0
             self.stats.add("tx.committed")
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    "log", "flash-clear", tid=self.core_id,
+                    txid=dyn.instr.txid, dropped=dropped,
+                )
         elif kind is Kind.LOG_SAVE:
             # Context switch: spill LRs, clear the LLT so another thread
             # cannot consume stale filter state, and force this thread's
@@ -212,6 +232,8 @@ class ProteusAdapter(LoggingAdapter):
             self.llt.clear()
             self.memctrl.flush_logs(self.core_id)
             self.stats.add("proteus.log_saves")
+            if self.tracer.enabled:
+                self.tracer.instant("log", "log-save", tid=self.core_id)
 
     # -- store ordering ----------------------------------------------------------------
 

@@ -13,12 +13,17 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional
 
+from repro.obs.tracer import NULL_TRACER, Tracer
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.cpu.ooo_core import DynInstr, OooCore
 
 
 class LoggingAdapter:
     """Scheme hooks invoked by the core. Base implementation is inert."""
+
+    #: observability sink; the simulator swaps in a live tracer.
+    tracer: Tracer = NULL_TRACER
 
     def bind(self, core: "OooCore") -> None:
         """Called once by the core after construction."""

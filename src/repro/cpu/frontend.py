@@ -12,16 +12,24 @@ from typing import Optional
 
 from repro.isa.instructions import Instruction
 from repro.isa.trace import InstructionTrace
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.sim.stats import Stats
 
 
 class Frontend:
     """Sequential instruction supply with stall accounting."""
 
-    def __init__(self, trace: InstructionTrace, stats: Stats, core_id: int = 0) -> None:
+    def __init__(
+        self,
+        trace: InstructionTrace,
+        stats: Stats,
+        core_id: int = 0,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
         self.trace = trace
         self.stats = stats
         self.core_id = core_id
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.pc = 0
         self._stalled_this_cycle: Optional[str] = None
 
@@ -55,4 +63,6 @@ class Frontend:
         if dispatched == 0 and not self.exhausted():
             cause = self._stalled_this_cycle or "other"
             self.stats.add(f"stall.{cause}")
+            if self.tracer.enabled:
+                self.tracer.instant("stall", cause, tid=self.core_id, pc=self.pc)
         self._stalled_this_cycle = None

@@ -31,6 +31,7 @@ from repro.isa.instructions import (
 from repro.isa.trace import InstructionTrace
 from repro.mem.hierarchy import CacheHierarchy
 from repro.mem.memctrl import MemoryController
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.sim.config import CoreConfig
 from repro.sim.engine import Engine
 from repro.sim.stats import Stats
@@ -89,6 +90,7 @@ class OooCore:
         memctrl: MemoryController,
         stats: Stats,
         adapter: Optional[LoggingAdapter] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.core_id = core_id
         self.engine = engine
@@ -96,12 +98,15 @@ class OooCore:
         self.hierarchy = hierarchy
         self.memctrl = memctrl
         self.stats = stats
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.adapter = adapter if adapter is not None else NullAdapter()
         self.adapter.bind(self)
 
-        self.frontend = Frontend(trace, stats, core_id)
+        self.frontend = Frontend(trace, stats, core_id, tracer=self.tracer)
         self.rob: List[DynInstr] = []
-        self.store_buffer = StoreBuffer(config.store_buffer_drain_per_cycle)
+        self.store_buffer = StoreBuffer(
+            config.store_buffer_drain_per_cycle, tracer=self.tracer, core_id=core_id
+        )
         self.dyn_by_seq: Dict[int, DynInstr] = {}
         self._done_seqs: set = set()
 
@@ -151,6 +156,11 @@ class OooCore:
         dyn.state = State.COMPLETED
         self._done_seqs.add(dyn.seq)
         self._progress = True
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "instr", "complete", tid=self.core_id, seq=dyn.seq,
+                kind=dyn.instr.kind.value, txid=dyn.instr.txid,
+            )
         waiters, dyn.waiters = dyn.waiters, []
         for waiter in waiters:
             waiter()
@@ -206,6 +216,11 @@ class OooCore:
             self.frontend.consume()
             self.rob.append(dyn)
             self.dyn_by_seq[dyn.seq] = dyn
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    "instr", "dispatch", tid=self.core_id, seq=dyn.seq,
+                    kind=instr.kind.value, addr=instr.addr, txid=instr.txid,
+                )
             if instr.kind in LOAD_QUEUE_KINDS:
                 self.lq_used += 1
             if instr.kind in STORE_QUEUE_KINDS:
@@ -227,6 +242,11 @@ class OooCore:
             return
         dyn.state = State.EXECUTING
         self._progress = True
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "instr", "issue", tid=self.core_id, seq=dyn.seq,
+                kind=dyn.instr.kind.value,
+            )
         if self.adapter.start_execute(dyn):
             return
         kind = dyn.instr.kind
@@ -291,9 +311,19 @@ class OooCore:
                 break
             if dyn.instr.kind in FENCE_KINDS and self._fence_blocked(dyn):
                 self.stats.add("retire_blocked.fence")
+                if self.tracer.enabled:
+                    self.tracer.instant(
+                        "stall", "retire-fence", tid=self.core_id, seq=dyn.seq,
+                        kind=dyn.instr.kind.value,
+                    )
                 break
             if self.adapter.retire_blocked(dyn):
                 self.stats.add("retire_blocked.adapter")
+                if self.tracer.enabled:
+                    self.tracer.instant(
+                        "stall", "retire-adapter", tid=self.core_id, seq=dyn.seq,
+                        kind=dyn.instr.kind.value,
+                    )
                 break
             self.rob.pop(0)
             dyn.state = State.RETIRED
@@ -311,6 +341,11 @@ class OooCore:
             if self.retire_observer is not None:
                 self.retire_observer.on_retire(self.core_id, dyn)
             self.stats.add("retired_instructions")
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    "instr", "retire", tid=self.core_id, seq=dyn.seq,
+                    kind=kind.value, txid=dyn.instr.txid,
+                )
             retired += 1
         if retired:
             self._progress = True
@@ -327,6 +362,11 @@ class OooCore:
                 head.instr.addr, head.seq
             ):
                 self.stats.add("store_release_blocked")
+                if self.tracer.enabled:
+                    self.tracer.instant(
+                        "stall", "store-release", tid=self.core_id,
+                        seq=head.seq, addr=head.instr.addr,
+                    )
                 return
             dyn = self.store_buffer.pop_head()
             self._progress = True

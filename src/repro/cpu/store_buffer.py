@@ -13,6 +13,8 @@ from __future__ import annotations
 from collections import deque
 from typing import TYPE_CHECKING, Deque, Optional
 
+from repro.obs.tracer import NULL_TRACER, Tracer
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.cpu.ooo_core import DynInstr
 
@@ -20,14 +22,26 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 class StoreBuffer:
     """In-order drain queue of retired store-class instructions."""
 
-    def __init__(self, drain_per_cycle: int = 1) -> None:
+    def __init__(
+        self,
+        drain_per_cycle: int = 1,
+        tracer: Optional[Tracer] = None,
+        core_id: int = -1,
+    ) -> None:
         self.drain_per_cycle = drain_per_cycle
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.core_id = core_id
         self._queue: Deque["DynInstr"] = deque()
         self._in_flight = 0
 
     def push(self, dyn: "DynInstr") -> None:
         """Add a just-retired store-class instruction."""
         self._queue.append(dyn)
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "queue", "sb.push", tid=self.core_id, seq=dyn.seq,
+                addr=dyn.instr.addr, occ=len(self._queue),
+            )
 
     def head(self) -> Optional["DynInstr"]:
         """The oldest undrained entry, or None."""
@@ -37,7 +51,13 @@ class StoreBuffer:
         """Remove the head for issue; caller must call :meth:`finished`
         when the issued operation completes."""
         self._in_flight += 1
-        return self._queue.popleft()
+        dyn = self._queue.popleft()
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "queue", "sb.drain", tid=self.core_id, seq=dyn.seq,
+                addr=dyn.instr.addr, occ=len(self._queue),
+            )
+        return dyn
 
     def finished(self) -> None:
         """An issued entry's cache write / flush completed."""

@@ -30,6 +30,8 @@ from repro.core.schemes import Scheme
 from repro.faults.harness import CrashCaseResult, run_crash_case
 from repro.faults.plan import FaultPlan, StuckBankFault, Trigger
 from repro.faults.tracker import ThreadFunctional
+from repro.obs.export import format_tail
+from repro.obs.tracer import Tracer
 from repro.sim.config import SystemConfig, fast_nvm_config
 from repro.workloads import WORKLOADS
 from repro.workloads.base import generate_traces
@@ -141,6 +143,12 @@ class CampaignResult:
             if case.detail:
                 line += f"  ({case.detail})"
             lines.append(line)
+            if case.outcome == "inconsistent" and case.machine.trace_tail:
+                tail = format_tail(
+                    case.machine.trace_tail,
+                    header=f"pre-crash timeline (case {index})",
+                )
+                lines.extend("    " + row for row in tail.splitlines())
         return "\n".join(lines) + "\n"
 
 
@@ -228,9 +236,16 @@ def run_campaign(
     mode: str = "none",
     config: Optional[SystemConfig] = None,
     max_cycles: int = 500_000_000,
+    trace_tail: int = 0,
     **workload_kwargs,
 ) -> CampaignResult:
-    """Sweep ``crashes`` planned crash points over one workload run."""
+    """Sweep ``crashes`` planned crash points over one workload run.
+
+    ``trace_tail`` > 0 runs every case with a ring-buffered tracer and
+    keeps the last ``trace_tail`` cycles of events in each crash's
+    :class:`~repro.faults.harness.MachineState`; the report prints the
+    pre-crash timeline for every inconsistent case.
+    """
     scheme = Scheme.parse(scheme)
     if not scheme.failure_safe:
         raise ValueError(
@@ -289,6 +304,8 @@ def run_campaign(
         # invariant; keep building the image so detection surfaces from
         # recovery checking rather than image construction.
         enforce = not (plan.drop_log_every or plan.drop_flag_every)
+        # Fresh ring per case: MachineState keeps only this crash's tail.
+        tracer = Tracer(capacity=4096) if trace_tail > 0 else None
         result.cases.append(
             run_crash_case(
                 scheme,
@@ -298,6 +315,8 @@ def run_campaign(
                 config=config,
                 enforce_invariant=enforce,
                 max_cycles=max_cycles,
+                tracer=tracer,
+                trace_tail_cycles=trace_tail,
             )
         )
     return result

@@ -23,6 +23,7 @@ from repro.core.schemes import Scheme
 from repro.isa.instructions import CACHE_LINE, FENCE_KINDS
 from repro.isa.trace import OpTrace
 from repro.mem.memctrl import MemoryController
+from repro.obs.tracer import TraceEvent, Tracer
 from repro.persistence.crash import InvariantViolation
 from repro.persistence.recovery import RecoveryError, recover, verify_atomicity
 from repro.sim.config import SystemConfig, fast_nvm_config
@@ -222,9 +223,20 @@ class MachineState:
     #: cycle at which every core finished (None when the run crashed
     #: before completion); the final controller drain runs after this.
     core_finish_cycle: Optional[int] = None
+    #: pre-crash trace events (the tracer's ring tail); empty unless the
+    #: case ran with a tracer and a tail window was requested.
+    trace_tail: Tuple[TraceEvent, ...] = ()
 
     @classmethod
-    def capture(cls, sim, injector: FaultInjector, tracker: DurabilityTracker, reason: str) -> "MachineState":
+    def capture(
+        cls,
+        sim,
+        injector: FaultInjector,
+        tracker: DurabilityTracker,
+        reason: str,
+        tracer: Optional[Tracer] = None,
+        trace_tail_cycles: int = 0,
+    ) -> "MachineState":
         logq: Dict[int, Dict[str, int]] = {}
         log_areas: Dict[int, Dict[str, int]] = {}
         for core in sim.cores:
@@ -249,6 +261,11 @@ class MachineState:
             trigger_counts=dict(injector.trigger_counts),
             data_drains=injector.data_drains,
             core_finish_cycle=sim.core_finish_cycle,
+            trace_tail=(
+                tracer.tail(trace_tail_cycles)
+                if tracer is not None and trace_tail_cycles > 0
+                else ()
+            ),
         )
 
 
@@ -279,22 +296,35 @@ def run_crash_case(
     config: Optional[SystemConfig] = None,
     enforce_invariant: bool = True,
     max_cycles: int = 500_000_000,
+    tracer: Optional[Tracer] = None,
+    trace_tail_cycles: int = 0,
 ) -> CrashCaseResult:
-    """Simulate one fault plan and verify recovery from the wreckage."""
+    """Simulate one fault plan and verify recovery from the wreckage.
+
+    Pass a (typically ring-buffered) ``tracer`` plus ``trace_tail_cycles``
+    to capture the last N cycles of trace events alongside the machine
+    snapshot — the flight recorder for diagnosing an inconsistent case.
+    """
     from repro.sim.simulator import Simulator
 
     if config is None:
         config = fast_nvm_config(cores=max(1, len(op_traces)))
     tracker = DurabilityTracker(models)
     injector = FaultInjector(plan, tracker)
-    sim = Simulator(config, scheme, op_traces, fault_injector=injector)
+    sim = Simulator(config, scheme, op_traces, fault_injector=injector, tracer=tracer)
     try:
         sim.run(max_cycles=max_cycles)
         crashed = False
-        machine = MachineState.capture(sim, injector, tracker, "ran to completion")
+        machine = MachineState.capture(
+            sim, injector, tracker, "ran to completion",
+            tracer=tracer, trace_tail_cycles=trace_tail_cycles,
+        )
     except SimulationHalted as halt:
         crashed = True
-        machine = MachineState.capture(sim, injector, tracker, halt.reason)
+        machine = MachineState.capture(
+            sim, injector, tracker, halt.reason,
+            tracer=tracer, trace_tail_cycles=trace_tail_cycles,
+        )
 
     outcome = "consistent" if crashed else "completed"
     ks: List[int] = []

@@ -21,6 +21,7 @@ from typing import Callable, List, Optional, Tuple
 
 from repro.mem.nvm import NvmDevice, NvmRequest
 from repro.mem.wpq import PendingQueue, QueueEntry
+from repro.obs.tracer import NULL_TRACER, TID_MC, Tracer
 from repro.sim.config import MemoryConfig
 from repro.sim.engine import Engine
 from repro.sim.stats import Stats
@@ -32,13 +33,22 @@ LPQ_HIGH_WATERMARK = 0.75
 class MemoryController:
     """The single memory controller shared by all cores."""
 
-    def __init__(self, engine: Engine, config: MemoryConfig, stats: Stats) -> None:
+    def __init__(
+        self,
+        engine: Engine,
+        config: MemoryConfig,
+        stats: Stats,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
         self.engine = engine
         self.config = config
         self.stats = stats
-        self.device = NvmDevice(engine, config, stats)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.device = NvmDevice(engine, config, stats, tracer=self.tracer)
         self.device.on_state_change = self._check_drained
-        self.wpq = PendingQueue(engine, stats, config.wpq_entries, "wpq")
+        self.wpq = PendingQueue(
+            engine, stats, config.wpq_entries, "wpq", tracer=self.tracer
+        )
         self.lpq: Optional[PendingQueue] = None
         #: when False (Proteus+NoLWR with an LPQ), flash clear is disabled
         #: and every log entry eventually drains to NVM.
@@ -59,7 +69,9 @@ class MemoryController:
 
     def attach_lpq(self, entries: int, log_write_removal: bool = True) -> None:
         """Add a Proteus LPQ of the given size."""
-        self.lpq = PendingQueue(self.engine, self.stats, entries, "lpq")
+        self.lpq = PendingQueue(
+            self.engine, self.stats, entries, "lpq", tracer=self.tracer
+        )
         self.log_write_removal = log_write_removal
 
     def register_log_region(self, base: int, size: int) -> None:
@@ -82,6 +94,8 @@ class MemoryController:
         def after_controller() -> None:
             if self.wpq.contains_line(line):
                 self.stats.add("mc.read_forwarded_from_wpq")
+                if self.tracer.enabled:
+                    self.tracer.instant("mem", "read-forward", tid=TID_MC, addr=line)
                 callback()
                 return
             self.device.submit(NvmRequest(line, is_write=False, callback=callback))
@@ -187,6 +201,11 @@ class MemoryController:
         ]
         for entry in remaining:
             self.lpq.entries.remove(entry)
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    "queue", "lpq.drain", tid=TID_MC, addr=entry.addr,
+                    txid=entry.txid, reason="flush-logs",
+                )
             self._dispatch_write(entry)
         self.lpq._refill_from_admission()
 

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, List, Optional
 
+from repro.obs.tracer import NULL_TRACER, TID_NVM_BASE, Tracer
 from repro.sim.config import MemoryConfig
 from repro.sim.engine import Engine
 from repro.sim.stats import Stats
@@ -55,10 +56,17 @@ class _Bank:
 class NvmDevice:
     """Bank-parallel NVM/DRAM device with read-priority scheduling."""
 
-    def __init__(self, engine: Engine, config: MemoryConfig, stats: Stats) -> None:
+    def __init__(
+        self,
+        engine: Engine,
+        config: MemoryConfig,
+        stats: Stats,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
         self.engine = engine
         self.config = config
         self.stats = stats
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._banks = [_Bank() for _ in range(config.banks)]
         self._drain_callbacks: List[Callable[[], None]] = []
         #: optional hook fired after every request completion; the memory
@@ -153,7 +161,15 @@ class NvmDevice:
             return
         bank.busy = True
         request = self._select(bank)
+        row_hit = (request.addr >> ROW_SHIFT) == bank.open_row
         latency = self._service_latency(bank, request)
+        if self.tracer.enabled:
+            self.tracer.complete(
+                "mem", "write" if request.is_write else "read",
+                start=self.engine.cycle, dur=latency,
+                tid=TID_NVM_BASE + self.bank_of(request.addr),
+                addr=request.addr, category=request.category, row_hit=row_hit,
+            )
         self.engine.schedule(latency, lambda: self._finish(bank, request))
 
     def _finish(self, bank: _Bank, request: NvmRequest) -> None:

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, List, Optional
 
+from repro.obs.tracer import NULL_TRACER, TID_MC, Tracer
 from repro.sim.engine import Engine
 from repro.sim.stats import Stats
 
@@ -48,13 +49,21 @@ class PendingQueue:
     admission callbacks, and flash clearing.
     """
 
-    def __init__(self, engine: Engine, stats: Stats, capacity: int, name: str) -> None:
+    def __init__(
+        self,
+        engine: Engine,
+        stats: Stats,
+        capacity: int,
+        name: str,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
         if capacity < 1:
             raise ValueError("queue capacity must be at least 1")
         self.engine = engine
         self.stats = stats
         self.capacity = capacity
         self.name = name
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.entries: List[QueueEntry] = []
         self._admission: List[tuple] = []  # (entry, on_accept)
         self._next_serial = 0
@@ -73,6 +82,11 @@ class PendingQueue:
             self._admit(entry, on_accept)
             return True
         self.stats.add(f"{self.name}.admission_blocked")
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "queue", f"{self.name}.blocked", tid=TID_MC,
+                addr=entry.addr, txid=entry.txid, waiting=len(self._admission) + 1,
+            )
         self._admission.append((entry, on_accept))
         return False
 
@@ -82,6 +96,12 @@ class PendingQueue:
         self.entries.append(entry)
         self.stats.add(f"{self.name}.admitted")
         self.stats.set_max(f"{self.name}.max_occupancy", len(self.entries))
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "queue", f"{self.name}.enqueue", tid=TID_MC,
+                addr=entry.addr, category=entry.category, txid=entry.txid,
+                occ=len(self.entries),
+            )
         if self.observer is not None:
             self.observer.on_queue_admit(self.name, entry)
         if on_accept is not None:
@@ -126,6 +146,7 @@ class PendingQueue:
             if skip_sticky and entry.sticky:
                 continue
             self.entries.pop(index)
+            self._note_drain(entry)
             self._refill_from_admission()
             return entry
         return None
@@ -135,8 +156,17 @@ class PendingQueue:
         if not self.entries:
             return None
         entry = self.entries.pop(0)
+        self._note_drain(entry)
         self._refill_from_admission()
         return entry
+
+    def _note_drain(self, entry: QueueEntry) -> None:
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "queue", f"{self.name}.drain", tid=TID_MC,
+                addr=entry.addr, category=entry.category, txid=entry.txid,
+                occ=len(self.entries),
+            )
 
     def flash_clear(self, thread_id: int, txid: int, keep_last: bool = False) -> int:
         """Drop every entry of (thread, txid); Proteus tx-end flash clear.
@@ -163,6 +193,11 @@ class PendingQueue:
                 continue
             self.entries.remove(entry)
             dropped += 1
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    "queue", f"{self.name}.drop", tid=TID_MC,
+                    addr=entry.addr, txid=entry.txid, reason="flash-clear",
+                )
         self.stats.add(f"{self.name}.flash_cleared", dropped)
         self._refill_from_admission()
         return dropped
@@ -180,6 +215,11 @@ class PendingQueue:
         ]
         for entry in stale:
             self.entries.remove(entry)
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    "queue", f"{self.name}.drop", tid=TID_MC,
+                    addr=entry.addr, txid=entry.txid, reason="stale-sticky",
+                )
         if stale:
             self.stats.add(f"{self.name}.sticky_dropped", len(stale))
             self._refill_from_admission()

@@ -1,0 +1,64 @@
+"""Cycle-level tracing & telemetry for the timing simulator.
+
+The subsystem the paper's figures wish they had: structured events from
+every layer of the machine (pipeline, queues, NVM banks, logging
+engines), periodic occupancy sampling, per-transaction spans with
+critical-path attribution, and exporters for Perfetto, CI, and
+terminals.  Zero cost when disabled — see :mod:`repro.obs.tracer` for
+the contract and ``docs/observability.md`` for the event catalog.
+"""
+
+from repro.obs.export import (
+    SUMMARY_SCHEMA_VERSION,
+    ascii_timeline,
+    chrome_trace,
+    format_tail,
+    render_summary_json,
+    summary_json,
+    to_chrome_json,
+)
+from repro.obs.sampler import OccupancySampler
+from repro.obs.schema import validate_chrome_trace, validate_summary
+from repro.obs.spans import (
+    ATTRIBUTION_CLASSES,
+    TxSpan,
+    attribution_totals,
+    build_tx_spans,
+    classify_stall,
+    latency_histogram,
+)
+from repro.obs.tracer import (
+    NULL_TRACER,
+    TID_MC,
+    TID_NVM_BASE,
+    EventStats,
+    NullTracer,
+    TraceEvent,
+    Tracer,
+)
+
+__all__ = [
+    "ATTRIBUTION_CLASSES",
+    "EventStats",
+    "NULL_TRACER",
+    "NullTracer",
+    "OccupancySampler",
+    "SUMMARY_SCHEMA_VERSION",
+    "TID_MC",
+    "TID_NVM_BASE",
+    "TraceEvent",
+    "Tracer",
+    "TxSpan",
+    "ascii_timeline",
+    "attribution_totals",
+    "build_tx_spans",
+    "chrome_trace",
+    "classify_stall",
+    "format_tail",
+    "latency_histogram",
+    "render_summary_json",
+    "summary_json",
+    "to_chrome_json",
+    "validate_chrome_trace",
+    "validate_summary",
+]

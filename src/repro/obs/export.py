@@ -1,0 +1,271 @@
+"""Trace exporters.
+
+Three renderings of one recorded stream:
+
+* :func:`chrome_trace` / :func:`to_chrome_json` — Chrome trace-event
+  JSON (object format with ``traceEvents``), loadable in Perfetto or
+  ``chrome://tracing``.  Cycles map 1:1 to microseconds (the viewers
+  have no "cycles" unit; 1 cycle renders as 1 µs).
+* :func:`summary_json` — a versioned, append-only JSON summary in the
+  style of ``repro.lint``'s reporter: schema version + tool name +
+  stable keys, safe for CI and external tooling to parse.
+* :func:`ascii_timeline` — a terminal rendering of transaction spans
+  and queue-occupancy samples for quick looks without a browser.
+
+Determinism contract: every exporter output is a pure function of the
+recorded events (args are stored pre-sorted, JSON is dumped with
+``sort_keys=True``), so identical runs produce byte-identical exports —
+``tests/test_obs_determinism.py`` holds that line.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.obs.spans import (
+    ATTRIBUTION_CLASSES,
+    TxSpan,
+    attribution_totals,
+    build_tx_spans,
+    latency_histogram,
+    percentile,
+)
+from repro.obs.tracer import TID_MC, TID_NVM_BASE, EventStats, TraceEvent
+
+#: Current summary JSON schema version (append-only evolution).
+SUMMARY_SCHEMA_VERSION = 1
+
+#: ``pid`` used for every event — one simulated machine, one process.
+TRACE_PID = 0
+
+
+def _lane_name(tid: int) -> str:
+    if tid == TID_MC:
+        return "memory controller"
+    if tid >= TID_NVM_BASE:
+        return f"nvm bank {tid - TID_NVM_BASE}"
+    return f"core {tid}"
+
+
+def _event_dict(event: TraceEvent) -> Dict[str, Any]:
+    record: Dict[str, Any] = {
+        "ts": event.ts,
+        "ph": event.ph,
+        "cat": event.cat,
+        "name": event.name,
+        "pid": TRACE_PID,
+        "tid": event.tid,
+    }
+    if event.ph == "X":
+        record["dur"] = event.dur
+    if event.ph == "I":
+        record["s"] = "t"  # instant scope: thread
+    if event.args:
+        record["args"] = dict(event.args)
+    return record
+
+
+def _span_dict(span: TxSpan) -> Dict[str, Any]:
+    return {
+        "ts": span.begin,
+        "ph": "X",
+        "cat": "tx",
+        "name": f"tx {span.txid}",
+        "pid": TRACE_PID,
+        "tid": span.core,
+        "dur": max(1, span.duration),
+        "args": {
+            "txid": span.txid,
+            "instructions": span.instructions,
+            "blocked_logging": span.blocked["logging"],
+            "blocked_memory": span.blocked["memory"],
+            "blocked_fence": span.blocked["fence"],
+            "critical_path": span.critical_path(),
+            "llt_squashes": span.llt_squashes,
+            "log_flushes": span.log_flushes,
+            "flash_cleared": span.flash_cleared,
+        },
+    }
+
+
+def _metadata_events(tids: Sequence[int]) -> List[Dict[str, Any]]:
+    records: List[Dict[str, Any]] = [
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": TRACE_PID,
+            "tid": 0,
+            "args": {"name": "repro timing simulator"},
+        }
+    ]
+    for tid in sorted(set(tids)):
+        records.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": TRACE_PID,
+                "tid": tid,
+                "args": {"name": _lane_name(tid)},
+            }
+        )
+    return records
+
+
+def chrome_trace(
+    events: Sequence[TraceEvent],
+    spans: Optional[Sequence[TxSpan]] = None,
+    metadata: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Build the Chrome trace-event document (object format).
+
+    ``spans`` defaults to :func:`~repro.obs.spans.build_tx_spans` over
+    the events; pass an empty list to skip span synthesis.
+    """
+    if spans is None:
+        spans = build_tx_spans(events)
+    records = _metadata_events([event.tid for event in events] + [span.core for span in spans])
+    records.extend(_event_dict(event) for event in events)
+    records.extend(_span_dict(span) for span in spans)
+    doc: Dict[str, Any] = {
+        "traceEvents": records,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "tool": "repro-trace",
+            "time_unit": "1 trace us = 1 simulated cycle",
+        },
+    }
+    if metadata:
+        doc["otherData"].update(metadata)
+    return doc
+
+
+def to_chrome_json(doc: Dict[str, Any]) -> str:
+    """Serialize a trace document byte-deterministically."""
+    return json.dumps(doc, sort_keys=True, separators=(",", ":"))
+
+
+def summary_json(
+    events: Sequence[TraceEvent],
+    scheme: str,
+    workload: str,
+    cycles: int,
+    stats: Optional[Dict[str, int]] = None,
+    spans: Optional[Sequence[TxSpan]] = None,
+) -> Dict[str, Any]:
+    """The stable JSON summary document for one traced run."""
+    if spans is None:
+        spans = build_tx_spans(events)
+    census = EventStats.of(events)
+    durations = [span.duration for span in spans]
+    totals = attribution_totals(spans)
+    counters = stats or {}
+    return {
+        "version": SUMMARY_SCHEMA_VERSION,
+        "tool": "repro-trace",
+        "scheme": scheme,
+        "workload": workload,
+        "cycles": cycles,
+        "events": {
+            "total": census.total,
+            "by_cat": {cat: census.by_cat[cat] for cat in sorted(census.by_cat)},
+        },
+        "transactions": {
+            "count": len(spans),
+            "latency_cycles": {
+                "p50": percentile(durations, 0.50),
+                "p95": percentile(durations, 0.95),
+                "p99": percentile(durations, 0.99),
+                "max": max(durations) if durations else 0,
+            },
+            "latency_histogram": latency_histogram(spans),
+            "blocked_cycles": {name: totals[name] for name in ATTRIBUTION_CLASSES},
+            "critical_paths": _critical_path_census(spans),
+        },
+        "queues": {
+            "wpq_max_occupancy": counters.get("wpq.max_occupancy", 0),
+            "lpq_max_occupancy": counters.get("lpq.max_occupancy", 0),
+            "wpq_admission_blocked": counters.get("wpq.admission_blocked", 0),
+            "lpq_admission_blocked": counters.get("lpq.admission_blocked", 0),
+            "lpq_flash_cleared": counters.get("lpq.flash_cleared", 0),
+        },
+        "llt": {
+            "hits": counters.get("llt.hits", 0),
+            "misses": counters.get("llt.misses", 0),
+        },
+    }
+
+
+def _critical_path_census(spans: Sequence[TxSpan]) -> Dict[str, int]:
+    census = {name: 0 for name in ("run",) + ATTRIBUTION_CLASSES}
+    for span in spans:
+        census[span.critical_path()] += 1
+    return census
+
+
+def render_summary_json(doc: Dict[str, Any]) -> str:
+    """Pretty, key-stable serialization of a summary document."""
+    return json.dumps(doc, indent=2, sort_keys=True)
+
+
+# -- ASCII timeline ---------------------------------------------------------
+
+
+def ascii_timeline(
+    events: Sequence[TraceEvent],
+    spans: Optional[Sequence[TxSpan]] = None,
+    width: int = 72,
+) -> str:
+    """Terminal rendering: per-core transaction lanes plus span table.
+
+    Each core gets one lane; a transaction renders as a bar of ``=``
+    scaled onto ``width`` columns, labeled with its txid where it fits.
+    Below the lanes, a table lists every span with its critical-path
+    attribution.
+    """
+    if spans is None:
+        spans = build_tx_spans(events)
+    if not spans:
+        return "(no transactions recorded)"
+    t0 = min(span.begin for span in spans)
+    t1 = max(span.end for span in spans)
+    extent = max(1, t1 - t0)
+    scale = (width - 1) / extent
+
+    lines: List[str] = [f"cycles {t0} .. {t1}  (1 column = {max(1, round(extent / width))} cycles)"]
+    cores = sorted({span.core for span in spans})
+    for core in cores:
+        lane = [" "] * width
+        for span in spans:
+            if span.core != core:
+                continue
+            start = int((span.begin - t0) * scale)
+            end = max(start + 1, int((span.end - t0) * scale) + 1)
+            for col in range(start, min(end, width)):
+                lane[col] = "="
+            label = str(span.txid)
+            if end - start > len(label):
+                lane[start:start + len(label)] = label
+        lines.append(f"core {core} |{''.join(lane)}|")
+
+    lines.append("")
+    lines.append(
+        f"{'core':>4} {'txid':>5} {'begin':>10} {'cycles':>8} "
+        f"{'instr':>6} {'log':>6} {'mem':>6} {'fence':>6}  critical path"
+    )
+    for span in spans:
+        lines.append(
+            f"{span.core:>4} {span.txid:>5} {span.begin:>10} {span.duration:>8} "
+            f"{span.instructions:>6} {span.blocked['logging']:>6} "
+            f"{span.blocked['memory']:>6} {span.blocked['fence']:>6}  {span.critical_path()}"
+        )
+    return "\n".join(lines)
+
+
+def format_tail(events: Sequence[TraceEvent], header: str = "pre-crash timeline") -> str:
+    """Render a ring-buffer tail for crash reports (oldest first)."""
+    if not events:
+        return f"{header}: (no events recorded)"
+    lines = [f"{header} ({len(events)} events):"]
+    lines.extend(event.format() for event in events)
+    return "\n".join(lines)

@@ -1,0 +1,117 @@
+"""Validation of exported trace documents.
+
+CI's trace smoke job and the determinism tests validate exports against
+these checks rather than eyeballing them in a viewer.  The rules encode
+what Perfetto / ``chrome://tracing`` actually require (the trace-event
+format is lax, but a malformed record silently drops from the view —
+exactly the failure mode a smoke test must catch) plus this repo's own
+schema promises documented in ``docs/observability.md``.
+
+Validators return a list of human-readable problems; empty means valid.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.obs.export import SUMMARY_SCHEMA_VERSION
+
+#: Phases the exporters may emit.
+ALLOWED_PHASES = frozenset({"B", "E", "X", "I", "C", "M"})
+
+#: Categories the instrumentation may emit (tx is synthesized at export).
+ALLOWED_CATS = frozenset({"instr", "stall", "queue", "mem", "log", "tx", "sample"})
+
+
+def validate_chrome_trace(doc: Any, max_problems: int = 20) -> List[str]:
+    """Check a Chrome-trace document; returns problems (empty = valid)."""
+    problems: List[str] = []
+
+    def report(message: str) -> bool:
+        problems.append(message)
+        return len(problems) >= max_problems
+
+    if not isinstance(doc, dict):
+        return [f"document must be a JSON object, got {type(doc).__name__}"]
+    records = doc.get("traceEvents")
+    if not isinstance(records, list):
+        return ["document must contain a 'traceEvents' list"]
+    if not records:
+        return ["'traceEvents' is empty"]
+
+    for index, record in enumerate(records):
+        where = f"traceEvents[{index}]"
+        if not isinstance(record, dict):
+            if report(f"{where}: not an object"):
+                break
+            continue
+        ph = record.get("ph")
+        if ph not in ALLOWED_PHASES:
+            if report(f"{where}: bad phase {ph!r}"):
+                break
+            continue
+        if not isinstance(record.get("name"), str) or not record["name"]:
+            if report(f"{where}: missing event name"):
+                break
+        if not isinstance(record.get("pid"), int) or not isinstance(record.get("tid"), int):
+            if report(f"{where}: pid/tid must be integers"):
+                break
+        if ph == "M":
+            continue  # metadata records carry no timestamp
+        ts = record.get("ts")
+        if not isinstance(ts, int) or ts < 0:
+            if report(f"{where}: ts must be a non-negative integer, got {ts!r}"):
+                break
+        cat = record.get("cat")
+        if not isinstance(cat, str) or cat not in ALLOWED_CATS:
+            if report(f"{where}: unknown category {cat!r}"):
+                break
+        if ph == "X":
+            dur = record.get("dur")
+            if not isinstance(dur, int) or dur < 0:
+                if report(f"{where}: complete event needs non-negative 'dur'"):
+                    break
+        if "args" in record and not isinstance(record["args"], dict):
+            if report(f"{where}: args must be an object"):
+                break
+    return problems
+
+
+#: Keys every summary document must carry, with their required types.
+_SUMMARY_REQUIRED: Dict[str, type] = {
+    "version": int,
+    "tool": str,
+    "scheme": str,
+    "workload": str,
+    "cycles": int,
+    "events": dict,
+    "transactions": dict,
+    "queues": dict,
+    "llt": dict,
+}
+
+
+def validate_summary(doc: Any) -> List[str]:
+    """Check a summary document; returns problems (empty = valid)."""
+    if not isinstance(doc, dict):
+        return [f"summary must be a JSON object, got {type(doc).__name__}"]
+    problems: List[str] = []
+    for key, expected in _SUMMARY_REQUIRED.items():
+        value = doc.get(key)
+        if not isinstance(value, expected):
+            problems.append(
+                f"summary.{key}: expected {expected.__name__}, got {type(value).__name__}"
+            )
+    if problems:
+        return problems
+    if doc["version"] != SUMMARY_SCHEMA_VERSION:
+        problems.append(
+            f"summary.version: expected {SUMMARY_SCHEMA_VERSION}, got {doc['version']}"
+        )
+    if doc["tool"] != "repro-trace":
+        problems.append(f"summary.tool: expected 'repro-trace', got {doc['tool']!r}")
+    transactions = doc["transactions"]
+    for key in ("count", "latency_cycles", "latency_histogram", "blocked_cycles", "critical_paths"):
+        if key not in transactions:
+            problems.append(f"summary.transactions missing {key!r}")
+    return problems

@@ -1,0 +1,259 @@
+"""Structured cycle-level tracer.
+
+One :class:`Tracer` instance observes one simulation.  Components emit
+typed :class:`TraceEvent` records (instruction lifecycle edges, queue
+enqueue/drain/drop, NVM bank service windows, logging-engine activity,
+periodic occupancy samples); exporters under :mod:`repro.obs.export`
+turn the stream into Chrome trace-event JSON, a versioned summary
+document, or an ASCII timeline.
+
+Zero cost when disabled: every instrumentation point in the simulator is
+guarded by ``if tracer.enabled:``, and the module-level :data:`NULL_TRACER`
+singleton (shared by every untraced simulation) answers ``enabled``
+False and drops anything emitted anyway.  Tracing must never perturb
+timing — a tracer only *records*; it never schedules events, touches
+stats counters, or feeds anything back into the machine
+(``tests/test_obs_determinism.py`` holds this line).
+
+Event identity:
+
+* ``ts`` — engine cycle of the event.
+* ``ph`` — Chrome trace-event phase: ``"I"`` instant, ``"X"`` complete
+  (has ``dur``), ``"C"`` counter, ``"B"``/``"E"`` span begin/end.
+* ``cat`` — taxonomy bucket (``instr``/``stall``/``queue``/``mem``/
+  ``log``/``tx``/``sample``); the full catalog lives in
+  ``docs/observability.md``.
+* ``tid`` — lane: core id for pipeline events, :data:`TID_MC` for the
+  memory controller, :data:`TID_NVM_BASE` + bank for device banks.
+* ``args`` — flat mapping of ints/strings; exporters serialize it
+  verbatim, so keep values deterministic (no ids from ``id()``, no
+  wall-clock).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, Iterable, List, Optional, Tuple, Union
+
+#: Trace lane for memory-controller / queue events.
+TID_MC = 90
+
+#: Trace lane base for NVM device banks (bank ``b`` is ``TID_NVM_BASE + b``).
+TID_NVM_BASE = 100
+
+#: Value types allowed in event args (kept JSON- and diff-friendly).
+ArgValue = Union[int, float, str, bool, None]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timestamped observation.
+
+    Frozen so a recorded stream can be shared between exporters and the
+    fault harness's crash captures without defensive copying.
+    """
+
+    ts: int
+    ph: str
+    cat: str
+    name: str
+    tid: int
+    dur: int = 0
+    args: Tuple[Tuple[str, ArgValue], ...] = ()
+
+    def arg(self, key: str, default: ArgValue = None) -> ArgValue:
+        """Look up one args entry (args are stored as sorted pairs)."""
+        for name, value in self.args:
+            if name == key:
+                return value
+        return default
+
+    def format(self) -> str:
+        """One-line human rendering (ASCII timelines, crash reports)."""
+        detail = " ".join(
+            f"{key}={value:#x}" if key in ("addr", "block", "log_to", "log_from")
+            and isinstance(value, int) else f"{key}={value}"
+            for key, value in self.args
+        )
+        dur = f" dur={self.dur}" if self.ph == "X" else ""
+        return (
+            f"[{self.ts:>10}] tid={self.tid:<3} {self.cat}:{self.name}"
+            f"{dur}{(' ' + detail) if detail else ''}"
+        )
+
+
+def _freeze_args(args: Optional[Dict[str, ArgValue]]) -> Tuple[Tuple[str, ArgValue], ...]:
+    if not args:
+        return ()
+    return tuple(sorted(args.items()))
+
+
+class Tracer:
+    """Recording tracer: an append-only (optionally ring-bounded) stream.
+
+    Args:
+        capacity: when set, keep only the most recent ``capacity`` events
+            (a pre-crash ring buffer for the fault harness); ``None``
+            keeps everything.
+        sample_interval: when set, the simulator attaches a periodic
+            :class:`~repro.obs.sampler.OccupancySampler` at this cycle
+            interval.
+    """
+
+    #: class attribute so ``tracer.enabled`` is one attribute load on
+    #: both the real tracer and :class:`NullTracer`.
+    enabled: bool = True
+
+    def __init__(
+        self,
+        capacity: Optional[int] = None,
+        sample_interval: Optional[int] = None,
+    ) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"ring capacity must be >= 1, got {capacity}")
+        if sample_interval is not None and sample_interval < 1:
+            raise ValueError(
+                f"sample interval must be >= 1 cycle, got {sample_interval}"
+            )
+        self.capacity = capacity
+        self.sample_interval = sample_interval
+        self._events: Deque[TraceEvent] = deque(maxlen=capacity)
+        self._clock: Callable[[], int] = lambda: 0
+        #: count of everything ever emitted (survives ring eviction).
+        self.emitted: int = 0
+
+    # -- wiring ---------------------------------------------------------------
+
+    def bind_clock(self, clock: Callable[[], int]) -> None:
+        """Bind the engine's cycle counter; done once by the simulator."""
+        self._clock = clock
+
+    def now(self) -> int:
+        """Current cycle according to the bound clock."""
+        return self._clock()
+
+    # -- emission -------------------------------------------------------------
+
+    def emit(
+        self,
+        cat: str,
+        name: str,
+        ph: str = "I",
+        tid: int = -1,
+        dur: int = 0,
+        ts: Optional[int] = None,
+        args: Optional[Dict[str, ArgValue]] = None,
+    ) -> None:
+        """Record one event (``ts`` defaults to the bound clock)."""
+        self.emitted += 1
+        self._events.append(
+            TraceEvent(
+                ts=self._clock() if ts is None else ts,
+                ph=ph,
+                cat=cat,
+                name=name,
+                tid=tid,
+                dur=dur,
+                args=_freeze_args(args),
+            )
+        )
+
+    def instant(
+        self, cat: str, name: str, tid: int = -1, **args: ArgValue
+    ) -> None:
+        """Instant event at the current cycle."""
+        self.emit(cat, name, ph="I", tid=tid, args=args or None)
+
+    def complete(
+        self,
+        cat: str,
+        name: str,
+        start: int,
+        dur: int,
+        tid: int = -1,
+        **args: ArgValue,
+    ) -> None:
+        """Complete (duration) event covering ``[start, start+dur)``."""
+        self.emit(cat, name, ph="X", tid=tid, dur=dur, ts=start, args=args or None)
+
+    def counter(
+        self, name: str, values: Dict[str, ArgValue], tid: int = 0
+    ) -> None:
+        """Counter sample (one series per ``values`` key)."""
+        self.emit("sample", name, ph="C", tid=tid, args=values)
+
+    # -- access ---------------------------------------------------------------
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        """The retained stream, oldest first."""
+        return list(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def tail(self, last_cycles: Optional[int] = None) -> Tuple[TraceEvent, ...]:
+        """Retained events, optionally limited to the trailing cycle window.
+
+        ``tail(200)`` returns everything within 200 cycles of the newest
+        retained event — the pre-crash timeline the fault harness dumps
+        next to a :class:`~repro.persistence.crash.CrashImage`.
+        """
+        if not self._events:
+            return ()
+        if last_cycles is None:
+            return tuple(self._events)
+        horizon = self._events[-1].ts - last_cycles
+        return tuple(event for event in self._events if event.ts >= horizon)
+
+    def clear(self) -> None:
+        """Drop retained events (the emitted total is preserved)."""
+        self._events.clear()
+
+
+class NullTracer(Tracer):
+    """The disabled fast path: answers ``enabled`` False, drops emits.
+
+    Components hold a tracer reference unconditionally (defaulting to
+    :data:`NULL_TRACER`), and hot paths guard emission with one
+    ``tracer.enabled`` attribute check; the overriding no-op methods
+    exist only as a second line of defense for unguarded call sites.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    def emit(
+        self,
+        cat: str,
+        name: str,
+        ph: str = "I",
+        tid: int = -1,
+        dur: int = 0,
+        ts: Optional[int] = None,
+        args: Optional[Dict[str, ArgValue]] = None,
+    ) -> None:
+        return None
+
+
+#: Shared inert tracer; every component's default.
+NULL_TRACER = NullTracer()
+
+
+@dataclass
+class EventStats:
+    """Census of a recorded stream (tests and report footers)."""
+
+    total: int = 0
+    by_cat: Dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def of(cls, events: Iterable[TraceEvent]) -> "EventStats":
+        stats = cls()
+        for event in events:
+            stats.total += 1
+            stats.by_cat[event.cat] = stats.by_cat.get(event.cat, 0) + 1
+        return stats

@@ -22,6 +22,8 @@ from repro.cpu.ooo_core import OooCore
 from repro.isa.trace import InstructionTrace, OpTrace
 from repro.mem.hierarchy import CacheHierarchy
 from repro.mem.memctrl import MemoryController
+from repro.obs.sampler import OccupancySampler
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.sim.config import SystemConfig, fast_nvm_config
 from repro.sim.engine import Engine, SimulationHalted
 from repro.sim.stats import Stats
@@ -65,6 +67,7 @@ class Simulator:
         scheme: Scheme,
         op_traces: Sequence[OpTrace],
         fault_injector=None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if len(op_traces) > config.cores:
             raise ValueError(
@@ -74,7 +77,14 @@ class Simulator:
         self.scheme = scheme
         self.engine = Engine()
         self.stats = Stats()
-        self.memctrl = MemoryController(self.engine, config.memory, self.stats)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        if self.tracer.enabled:
+            # The shared NULL_TRACER is never rebound (it is one singleton
+            # across simulations); a live tracer gets this engine's clock.
+            self.tracer.bind_clock(lambda: self.engine.cycle)
+        self.memctrl = MemoryController(
+            self.engine, config.memory, self.stats, tracer=self.tracer
+        )
         if scheme.uses_lpq:
             self.memctrl.attach_lpq(
                 config.proteus.lpq_entries,
@@ -90,6 +100,11 @@ class Simulator:
         #: cycle at which every core finished (before the final controller
         #: drain); None until the run loop completes.
         self.core_finish_cycle: Optional[int] = None
+        self.sampler: Optional[OccupancySampler] = None
+        if self.tracer.enabled and self.tracer.sample_interval:
+            self.sampler = OccupancySampler(
+                self.tracer, self, self.tracer.sample_interval
+            )
         self.fault_injector = fault_injector
         if fault_injector is not None:
             fault_injector.attach(self)
@@ -133,6 +148,8 @@ class Simulator:
                 self.stats,
                 thread_id,
             )
+        if adapter is not None:
+            adapter.tracer = self.tracer
         for line in op_trace.warm_lines:
             self.hierarchy.warm(thread_id, line)
 
@@ -145,6 +162,7 @@ class Simulator:
             memctrl=self.memctrl,
             stats=self.stats,
             adapter=adapter if adapter is not None else NullAdapter(),
+            tracer=self.tracer,
         )
         self.cores.append(core)
 
@@ -154,9 +172,12 @@ class Simulator:
         """Run every core's trace to completion."""
         engine = self.engine
         cores = self.cores
+        sampler = self.sampler
         while True:
             if engine.halted:
                 raise SimulationHalted(engine.cycle, engine.halt_reason)
+            if sampler is not None:
+                sampler.maybe_sample()
             if all(core.finished() for core in cores):
                 break
             if engine.cycle > max_cycles:
@@ -227,11 +248,14 @@ def run_trace(
     scheme: Scheme,
     config: Optional[SystemConfig] = None,
     max_cycles: int = 500_000_000,
+    tracer: Optional[Tracer] = None,
 ) -> SimResult:
     """Convenience wrapper: build a simulator and run it."""
     if config is None:
         config = fast_nvm_config(cores=max(1, len(op_traces)))
-    return Simulator(config, scheme, op_traces).run(max_cycles=max_cycles)
+    return Simulator(config, scheme, op_traces, tracer=tracer).run(
+        max_cycles=max_cycles
+    )
 
 
 def run_workload(
@@ -241,6 +265,7 @@ def run_workload(
     threads: int = 1,
     seed: int = 1,
     max_cycles: int = 500_000_000,
+    tracer: Optional[Tracer] = None,
     **workload_kwargs,
 ) -> SimResult:
     """Generate per-thread traces for a workload class and simulate them.
@@ -253,4 +278,4 @@ def run_workload(
     traces = generate_traces(workload_cls, threads=threads, seed=seed, **workload_kwargs)
     if config is None:
         config = fast_nvm_config(cores=threads)
-    return run_trace(traces, scheme, config, max_cycles=max_cycles)
+    return run_trace(traces, scheme, config, max_cycles=max_cycles, tracer=tracer)

@@ -29,8 +29,15 @@ class Stats:
         return self.counters.get(name, 0)
 
     def set_max(self, name: str, value: int) -> None:
-        """Track a high-water mark."""
-        if value > self.counters.get(name, 0):
+        """Track a high-water mark.
+
+        The first observation always sticks, even when it is zero or
+        negative — "never observed" and "observed at 0" must stay
+        distinguishable (``get`` reports 0 for both, but the counter's
+        presence in ``snapshot()``/``format()`` differs).
+        """
+        current = self.counters.get(name)
+        if current is None or value > current:
             self.counters[name] = value
 
     # -- derived metrics ---------------------------------------------------

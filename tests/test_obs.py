@@ -1,0 +1,401 @@
+"""Unit tests for the tracing subsystem (repro.obs)."""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    SUMMARY_SCHEMA_VERSION,
+    ascii_timeline,
+    chrome_trace,
+    format_tail,
+    render_summary_json,
+    summary_json,
+    to_chrome_json,
+)
+from repro.obs.sampler import OccupancySampler
+from repro.obs.schema import validate_chrome_trace, validate_summary
+from repro.obs.spans import (
+    TxSpan,
+    attribution_totals,
+    build_tx_spans,
+    classify_stall,
+    latency_histogram,
+    percentile,
+)
+from repro.obs.tracer import (
+    NULL_TRACER,
+    TID_MC,
+    EventStats,
+    NullTracer,
+    TraceEvent,
+    Tracer,
+)
+
+
+# -- tracer -----------------------------------------------------------------
+
+
+def test_tracer_records_with_bound_clock():
+    tracer = Tracer()
+    cycle = [0]
+    tracer.bind_clock(lambda: cycle[0])
+    tracer.instant("instr", "dispatch", tid=0, seq=1)
+    cycle[0] = 5
+    tracer.instant("instr", "retire", tid=0, seq=1)
+    events = tracer.events
+    assert [e.ts for e in events] == [0, 5]
+    assert events[0].name == "dispatch"
+    assert events[0].arg("seq") == 1
+    assert tracer.emitted == 2
+
+
+def test_tracer_args_stored_sorted():
+    tracer = Tracer()
+    tracer.instant("log", "flush-issue", tid=0, zeta=1, alpha=2, mid=3)
+    (event,) = tracer.events
+    assert [key for key, _ in event.args] == ["alpha", "mid", "zeta"]
+
+
+def test_tracer_ring_capacity_evicts_oldest():
+    tracer = Tracer(capacity=3)
+    for i in range(10):
+        tracer.emit("instr", "dispatch", ts=i, tid=0)
+    assert [e.ts for e in tracer.events] == [7, 8, 9]
+    assert tracer.emitted == 10  # the total survives eviction
+
+
+def test_tracer_tail_cycle_window():
+    tracer = Tracer()
+    for ts in (0, 50, 90, 100):
+        tracer.emit("instr", "dispatch", ts=ts, tid=0)
+    tail = tracer.tail(10)
+    assert [e.ts for e in tail] == [90, 100]
+    assert len(tracer.tail()) == 4
+    assert Tracer().tail(10) == ()
+
+
+def test_tracer_rejects_bad_knobs():
+    with pytest.raises(ValueError):
+        Tracer(capacity=0)
+    with pytest.raises(ValueError):
+        Tracer(sample_interval=0)
+
+
+def test_null_tracer_is_inert():
+    assert NULL_TRACER.enabled is False
+    assert isinstance(NULL_TRACER, NullTracer)
+    NULL_TRACER.emit("instr", "dispatch", tid=0)
+    NULL_TRACER.instant("stall", "rob", tid=0)
+    assert len(NULL_TRACER) == 0
+    assert Tracer.enabled is True  # class-attribute fast path
+
+
+def test_trace_event_format_hexes_addresses():
+    event = TraceEvent(
+        ts=7, ph="I", cat="queue", name="wpq.enqueue", tid=TID_MC,
+        args=(("addr", 0x1000), ("occ", 3)),
+    )
+    text = event.format()
+    assert "addr=0x1000" in text
+    assert "occ=3" in text
+    assert "queue:wpq.enqueue" in text
+
+
+def test_event_stats_census():
+    events = [
+        TraceEvent(ts=0, ph="I", cat="instr", name="dispatch", tid=0),
+        TraceEvent(ts=1, ph="I", cat="instr", name="retire", tid=0),
+        TraceEvent(ts=1, ph="I", cat="stall", name="rob", tid=0),
+    ]
+    census = EventStats.of(events)
+    assert census.total == 3
+    assert census.by_cat == {"instr": 2, "stall": 1}
+
+
+# -- spans ------------------------------------------------------------------
+
+
+def _instr(ts, name, tid=0, txid=1, seq=0):
+    return TraceEvent(
+        ts=ts, ph="I", cat="instr", name=name, tid=tid,
+        args=(("seq", seq), ("txid", txid)),
+    )
+
+
+def _stall(ts, name, tid=0):
+    return TraceEvent(ts=ts, ph="I", cat="stall", name=name, tid=tid)
+
+
+def test_classify_stall():
+    assert classify_stall("lr") == "logging"
+    assert classify_stall("logq") == "logging"
+    assert classify_stall("store-release") == "logging"
+    assert classify_stall("retire-adapter") == "logging"
+    assert classify_stall("retire-fence") == "fence"
+    assert classify_stall("rob") == "memory"
+    assert classify_stall("anything-else") == "memory"
+
+
+def test_build_tx_spans_window_and_attribution():
+    events = [
+        _instr(10, "dispatch", seq=1),
+        _stall(12, "rob"),
+        _instr(15, "retire", seq=1),
+        _instr(16, "dispatch", seq=2),
+        _stall(18, "retire-fence"),
+        _stall(19, "lr"),
+        _instr(20, "retire", seq=2),
+        _stall(99, "rob"),  # outside every window: unattributed
+    ]
+    (span,) = build_tx_spans(events)
+    assert (span.core, span.txid) == (0, 1)
+    assert (span.begin, span.end) == (10, 20)
+    assert span.instructions == 2
+    assert span.blocked == {"logging": 1, "memory": 1, "fence": 1}
+    assert span.duration == 10
+
+
+def test_build_tx_spans_ignores_untransactional_instructions():
+    events = [
+        _instr(5, "dispatch", txid=0),
+        _instr(9, "retire", txid=0),
+    ]
+    assert build_tx_spans(events) == []
+
+
+def test_build_tx_spans_overlap_attributes_to_oldest():
+    events = [
+        _instr(0, "dispatch", txid=1),
+        _instr(20, "retire", txid=1),
+        _instr(10, "dispatch", txid=2),  # overlaps tx 1's tail
+        _instr(30, "retire", txid=2),
+        _stall(15, "rob"),  # inside both windows
+    ]
+    spans = build_tx_spans(events)
+    assert [span.txid for span in spans] == [1, 2]
+    assert spans[0].blocked["memory"] == 1
+    assert spans[1].blocked["memory"] == 0
+
+
+def test_build_tx_spans_log_annotations():
+    events = [
+        _instr(0, "dispatch"),
+        _instr(50, "retire"),
+        TraceEvent(ts=5, ph="I", cat="log", name="flush-issue", tid=0,
+                   args=(("txid", 1),)),
+        TraceEvent(ts=6, ph="I", cat="log", name="llt-squash", tid=0,
+                   args=(("txid", 1),)),
+        TraceEvent(ts=50, ph="I", cat="log", name="flash-clear", tid=0,
+                   args=(("dropped", 3), ("txid", 1))),
+    ]
+    (span,) = build_tx_spans(events)
+    assert span.log_flushes == 1
+    assert span.llt_squashes == 1
+    assert span.flash_cleared == 3
+
+
+def test_critical_path_tiebreak_order():
+    span = TxSpan(core=0, txid=1, begin=0, end=10)
+    assert span.critical_path() == "run"
+    span.blocked["memory"] = 2
+    span.blocked["logging"] = 2
+    assert span.critical_path() == "logging"  # logging wins ties
+
+
+def test_latency_histogram_buckets():
+    spans = [
+        TxSpan(core=0, txid=i, begin=0, end=end)
+        for i, end in enumerate((0, 1, 3, 4, 100), start=1)
+    ]
+    assert latency_histogram(spans) == {"0-0": 1, "1-1": 1, "2-3": 1, "4-7": 1, "64-127": 1}
+
+
+def test_attribution_totals():
+    a = TxSpan(core=0, txid=1, begin=0, end=1)
+    b = TxSpan(core=0, txid=2, begin=2, end=3)
+    a.blocked["logging"] = 4
+    b.blocked["logging"] = 1
+    b.blocked["fence"] = 2
+    assert attribution_totals([a, b]) == {"logging": 5, "memory": 0, "fence": 2}
+
+
+def test_percentile_nearest_rank():
+    assert percentile([10, 20, 30], 0.50) == 20
+    values = list(range(1, 102))
+    assert percentile(values, 0.50) == 51
+    assert percentile(values, 0.95) == 96
+    assert percentile(values, 1.0) == 101
+    assert percentile(values, 0.0) == 1
+    assert percentile([], 0.5) == 0
+    with pytest.raises(ValueError):
+        percentile([1], 1.5)
+
+
+# -- exporters --------------------------------------------------------------
+
+
+def _sample_events():
+    return [
+        _instr(0, "dispatch", seq=1),
+        _stall(3, "retire-fence"),
+        _instr(5, "retire", seq=1),
+        TraceEvent(ts=2, ph="X", cat="mem", name="write", tid=101, dur=4,
+                   args=(("addr", 0x80),)),
+        TraceEvent(ts=4, ph="C", cat="sample", name="mc", tid=TID_MC,
+                   args=(("wpq", 2),)),
+    ]
+
+
+def test_chrome_trace_structure_and_validity():
+    events = _sample_events()
+    doc = chrome_trace(events, metadata={"scheme": "Proteus"})
+    assert validate_chrome_trace(doc) == []
+    assert doc["otherData"]["scheme"] == "Proteus"
+    phases = [record["ph"] for record in doc["traceEvents"]]
+    assert "M" in phases and "X" in phases and "I" in phases and "C" in phases
+    tx = [r for r in doc["traceEvents"] if r.get("cat") == "tx"]
+    assert len(tx) == 1 and tx[0]["args"]["critical_path"] == "fence"
+    names = {
+        r["tid"]: r["args"]["name"]
+        for r in doc["traceEvents"]
+        if r["ph"] == "M" and r["name"] == "thread_name"
+    }
+    assert names[TID_MC] == "memory controller"
+    assert names[101] == "nvm bank 1"
+    assert names[0] == "core 0"
+
+
+def test_to_chrome_json_round_trips():
+    doc = chrome_trace(_sample_events())
+    text = to_chrome_json(doc)
+    assert json.loads(text) == doc
+
+
+def test_summary_json_valid_and_versioned():
+    events = _sample_events()
+    doc = summary_json(events, scheme="Proteus", workload="HM", cycles=5,
+                       stats={"llt.hits": 3, "wpq.max_occupancy": 2})
+    assert validate_summary(doc) == []
+    assert doc["version"] == SUMMARY_SCHEMA_VERSION
+    assert doc["transactions"]["count"] == 1
+    assert doc["transactions"]["blocked_cycles"]["fence"] == 1
+    assert doc["queues"]["wpq_max_occupancy"] == 2
+    assert doc["llt"]["hits"] == 3
+    json.loads(render_summary_json(doc))
+
+
+def test_ascii_timeline_renders_spans():
+    text = ascii_timeline(_sample_events())
+    assert "core 0 |" in text
+    assert "fence" in text
+    assert ascii_timeline([]) == "(no transactions recorded)"
+
+
+def test_format_tail():
+    assert "(no events recorded)" in format_tail([])
+    text = format_tail(_sample_events()[:1], header="tail")
+    assert text.startswith("tail (1 events):")
+    assert "instr:dispatch" in text
+
+
+# -- schema validators ------------------------------------------------------
+
+
+def test_validate_chrome_trace_rejects_malformed():
+    assert validate_chrome_trace([]) != []
+    assert validate_chrome_trace({}) != []
+    assert validate_chrome_trace({"traceEvents": []}) != []
+    bad_phase = {"traceEvents": [{"ph": "Q", "name": "x", "pid": 0, "tid": 0, "ts": 0}]}
+    assert any("bad phase" in p for p in validate_chrome_trace(bad_phase))
+    bad_ts = {"traceEvents": [
+        {"ph": "I", "cat": "instr", "name": "x", "pid": 0, "tid": 0, "ts": -1}
+    ]}
+    assert any("ts" in p for p in validate_chrome_trace(bad_ts))
+    bad_cat = {"traceEvents": [
+        {"ph": "I", "cat": "nonsense", "name": "x", "pid": 0, "tid": 0, "ts": 0}
+    ]}
+    assert any("category" in p for p in validate_chrome_trace(bad_cat))
+    no_dur = {"traceEvents": [
+        {"ph": "X", "cat": "mem", "name": "x", "pid": 0, "tid": 0, "ts": 0}
+    ]}
+    assert any("dur" in p for p in validate_chrome_trace(no_dur))
+
+
+def test_validate_chrome_trace_caps_problem_count():
+    records = [{"ph": "Q"} for _ in range(100)]
+    problems = validate_chrome_trace({"traceEvents": records}, max_problems=5)
+    assert len(problems) == 5
+
+
+def test_validate_summary_rejects_drift():
+    good = summary_json(_sample_events(), scheme="s", workload="w", cycles=1)
+    assert validate_summary(good) == []
+    assert validate_summary("nope") != []
+    wrong_version = dict(good, version=99)
+    assert any("version" in p for p in validate_summary(wrong_version))
+    wrong_tool = dict(good, tool="other")
+    assert any("tool" in p for p in validate_summary(wrong_tool))
+    missing = dict(good)
+    del missing["llt"]
+    assert any("llt" in p for p in validate_summary(missing))
+
+
+# -- sampler ----------------------------------------------------------------
+
+
+class _FakeEngine:
+    def __init__(self):
+        self.cycle = 0
+
+
+class _FakeSim:
+    """Just enough simulator surface for the sampler."""
+
+    def __init__(self):
+        from repro.sim.stats import Stats
+
+        self.engine = _FakeEngine()
+        self.stats = Stats()
+        self.cores = []
+
+        class _Queue:
+            @staticmethod
+            def occupancy():
+                return 2
+
+            @staticmethod
+            def waiting_admission():
+                return 1
+
+        class _Device:
+            @staticmethod
+            def outstanding():
+                return 0
+
+        class _Memctrl:
+            wpq = _Queue()
+            lpq = None
+            device = _Device()
+
+        self.memctrl = _Memctrl()
+
+
+def test_sampler_fires_on_interval_and_after_fast_forward():
+    tracer = Tracer(sample_interval=10)
+    sim = _FakeSim()
+    tracer.bind_clock(lambda: sim.engine.cycle)
+    sampler = OccupancySampler(tracer, sim, interval=10)
+    assert sampler.maybe_sample() is True  # first call samples at cycle 0
+    assert sampler.maybe_sample() is False  # same cycle: not due again
+    sim.engine.cycle = 9
+    assert sampler.maybe_sample() is False
+    sim.engine.cycle = 57  # fast-forward far past several periods
+    assert sampler.maybe_sample() is True
+    sim.engine.cycle = 66
+    assert sampler.maybe_sample() is False  # next due at 67
+    sim.engine.cycle = 67
+    assert sampler.maybe_sample() is True
+    mc_samples = [e for e in tracer.events if e.name == "mc"]
+    assert len(mc_samples) == 3
+    assert mc_samples[0].arg("wpq") == 2

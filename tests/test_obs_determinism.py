@@ -1,0 +1,100 @@
+"""Determinism contract of the tracing subsystem.
+
+Two guarantees the rest of the repo leans on:
+
+* **Byte-identical exports**: the same (workload, seed, config, scheme)
+  traced twice yields the same Chrome-trace JSON and the same summary
+  JSON, byte for byte — trace diffs are meaningful, CI artifacts are
+  reproducible.
+* **Zero observer effect**: running with a tracer attached changes no
+  Stats counter relative to an untraced run.  The tracer only records;
+  it must never schedule events, touch stats, or otherwise feed back
+  into the machine.
+"""
+
+import pytest
+
+from repro.core.schemes import Scheme
+from repro.obs.export import (
+    chrome_trace,
+    render_summary_json,
+    summary_json,
+    to_chrome_json,
+)
+from repro.obs.schema import validate_chrome_trace, validate_summary
+from repro.obs.spans import build_tx_spans
+from repro.obs.tracer import Tracer
+from repro.sim.config import fast_nvm_config
+from repro.sim.simulator import run_trace
+from repro.workloads import WORKLOADS
+from repro.workloads.base import generate_traces
+
+SMALL = dict(threads=1, seed=11, init_ops=60, sim_ops=8)
+
+#: One software, one hardware, one SSHL scheme cover every adapter path.
+SCHEMES = (Scheme.PMEM, Scheme.ATOM, Scheme.PROTEUS)
+
+
+def _traced_run(scheme, sample_interval=50):
+    traces = generate_traces(WORKLOADS["HM"], **SMALL)
+    tracer = Tracer(sample_interval=sample_interval)
+    result = run_trace(traces, scheme, fast_nvm_config(cores=1), tracer=tracer)
+    return result, tracer
+
+
+@pytest.mark.parametrize("scheme", SCHEMES, ids=str)
+def test_chrome_export_byte_identical_across_runs(scheme):
+    outputs = []
+    for _ in range(2):
+        result, tracer = _traced_run(scheme)
+        spans = build_tx_spans(tracer.events)
+        doc = chrome_trace(tracer.events, spans=spans,
+                           metadata={"scheme": str(scheme)})
+        assert validate_chrome_trace(doc) == []
+        summary = summary_json(
+            tracer.events, scheme=str(scheme), workload="HM",
+            cycles=result.cycles, stats=result.stats.snapshot(), spans=spans,
+        )
+        assert validate_summary(summary) == []
+        outputs.append((to_chrome_json(doc), render_summary_json(summary)))
+    assert outputs[0][0] == outputs[1][0]
+    assert outputs[0][1] == outputs[1][1]
+
+
+@pytest.mark.parametrize("scheme", SCHEMES, ids=str)
+def test_tracer_does_not_perturb_stats(scheme):
+    traces = generate_traces(WORKLOADS["HM"], **SMALL)
+    config = fast_nvm_config(cores=1)
+    untraced = run_trace(traces, scheme, config)
+    traced, tracer = _traced_run(scheme)
+    assert tracer.emitted > 0
+    assert traced.cycles == untraced.cycles
+    assert traced.stats.snapshot() == untraced.stats.snapshot()
+
+
+def test_ring_tracer_keeps_stats_identical_too():
+    # The fault harness runs with a bounded ring; eviction must not
+    # change behavior either.
+    traces = generate_traces(WORKLOADS["QE"], **SMALL)
+    config = fast_nvm_config(cores=1)
+    untraced = run_trace(traces, scheme := Scheme.PROTEUS, config)
+    tracer = Tracer(capacity=256)
+    traced = run_trace(traces, scheme, config, tracer=tracer)
+    assert tracer.emitted > len(tracer)  # the ring actually evicted
+    assert traced.stats.snapshot() == untraced.stats.snapshot()
+
+
+def test_trace_contains_required_event_kinds():
+    """The acceptance-level event census: instruction lifecycle edges,
+    queue traffic, and complete transaction spans must all be present."""
+    result, tracer = _traced_run(Scheme.PROTEUS)
+    names = {(e.cat, e.name) for e in tracer.events}
+    assert ("instr", "dispatch") in names
+    assert ("instr", "retire") in names
+    assert any(cat == "queue" and name.startswith("wpq.") for cat, name in names)
+    assert any(cat == "queue" and name.startswith("lpq.") for cat, name in names)
+    assert any(cat == "sample" for cat, _ in names)
+    spans = build_tx_spans(tracer.events)
+    assert len(spans) == SMALL["sim_ops"]
+    assert all(span.end > span.begin for span in spans)
+    assert all(span.instructions > 0 for span in spans)

@@ -21,6 +21,33 @@ def test_set_max_tracks_high_water():
     assert stats.get("occ") == 7
 
 
+def test_set_max_first_observation_sticks_at_zero():
+    # "observed at 0" must register the counter; only get() reports 0
+    # for both this and the never-observed case.
+    stats = Stats()
+    stats.set_max("occ", 0)
+    assert "occ" in stats.snapshot()
+    assert stats.get("occ") == 0
+    stats.set_max("occ", 2)
+    assert stats.get("occ") == 2
+
+
+def test_set_max_first_observation_sticks_when_negative():
+    stats = Stats()
+    stats.set_max("margin", -3)
+    assert stats.snapshot()["margin"] == -3
+    stats.set_max("margin", -5)
+    assert stats.snapshot()["margin"] == -3
+    stats.set_max("margin", -1)
+    assert stats.snapshot()["margin"] == -1
+
+
+def test_set_max_never_observed_absent_from_snapshot():
+    stats = Stats()
+    assert "occ" not in stats.snapshot()
+    assert stats.get("occ") == 0
+
+
 def test_ipc_zero_when_no_cycles():
     stats = Stats()
     assert stats.ipc() == 0.0
@@ -36,6 +63,28 @@ def test_frontend_stall_breakdown():
     stats.add("other", 99)
     assert stats.frontend_stalls() == 15
     assert stats.stall_breakdown() == {"rob": 10, "lq": 5}
+
+
+def test_stall_breakdown_empty_without_stall_counters():
+    stats = Stats()
+    stats.add("retired_instructions", 10)
+    assert stats.stall_breakdown() == {}
+    assert stats.frontend_stalls() == 0
+
+
+def test_stall_breakdown_keeps_dotted_cause_names():
+    # Only the leading "stall." prefix is stripped; a cause containing a
+    # dot keeps the remainder intact.
+    stats = Stats()
+    stats.add("stall.retire.fence", 4)
+    assert stats.stall_breakdown() == {"retire.fence": 4}
+
+
+def test_ipc_instructions_without_cycles():
+    # Counters set but cycles never stamped: ipc() must not divide by 0.
+    stats = Stats()
+    stats.add("retired_instructions", 500)
+    assert stats.ipc() == 0.0
 
 
 def test_nvm_write_breakdown():
