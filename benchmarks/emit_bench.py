@@ -18,6 +18,13 @@ perf regressions in the simulator itself (wall time) and model drift
 Wall times are machine-dependent; metrics are deterministic for a given
 (scale, threads, seed).  The record stores all three knobs so trajectory
 points are comparable.
+
+Sweeps run through the parallel sweep runner (``repro.parallel``):
+``--jobs N`` fans cells out over worker processes, ``--cache-dir`` /
+``--no-cache`` control the on-disk result cache, and
+``--compare-runner`` additionally times one evaluation sweep three ways
+— serial cold, parallel cold, warm cache — verifying the three produce
+byte-identical results and recording the wall times in the run record.
 """
 
 from __future__ import annotations
@@ -26,6 +33,7 @@ import argparse
 import json
 import subprocess
 import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -89,6 +97,68 @@ def run_figures(threads: int, scale: float, seed: int, names=None) -> list:
     return records
 
 
+def compare_runner(
+    threads: int, scale: float, seed: int, jobs: int, cache_dir=None
+) -> dict:
+    """Time one evaluation sweep serial / parallel / warm-cache.
+
+    All three passes must produce byte-identical results; the record
+    carries the three wall times plus the warm pass's cache-hit count.
+    """
+    from repro.analysis.experiments import bench_cell
+    from repro.core.schemes import BASELINE, FIGURE_ORDER
+    from repro.parallel import ResultCache, SweepRunner, result_bytes
+    from repro.sim.config import fast_nvm_config
+    from repro.workloads import BENCHMARK_ORDER
+
+    config = fast_nvm_config(cores=threads)
+    schemes = list(dict.fromkeys(list(FIGURE_ORDER) + [BASELINE]))
+    cells = [
+        bench_cell(name, scheme, config, threads, scale, seed)
+        for name in BENCHMARK_ORDER
+        for scheme in schemes
+    ]
+
+    def timed(runner, label):
+        start = time.perf_counter()
+        results = runner.run_cells(cells)
+        elapsed = time.perf_counter() - start
+        print(f"  runner[{label:<13}] {elapsed:8.2f}s  {runner.describe()}")
+        return elapsed, [result_bytes(r) for r in results]
+
+    serial_s, serial_bytes = timed(SweepRunner(jobs=1), "serial")
+    parallel_s, parallel_bytes = timed(SweepRunner(jobs=jobs), f"jobs={jobs}")
+
+    cleanup = None
+    if cache_dir is None:
+        cleanup = tempfile.TemporaryDirectory(prefix="repro-bench-cache-")
+        cache_dir = cleanup.name
+    try:
+        cold = SweepRunner(jobs=1, cache=ResultCache(cache_dir))
+        cold.run_cells(cells)
+        warm_cache = ResultCache(cache_dir)
+        warm_s, warm_bytes = timed(
+            SweepRunner(jobs=1, cache=warm_cache), "warm-cache"
+        )
+        warm_hits = warm_cache.hits
+    finally:
+        if cleanup is not None:
+            cleanup.cleanup()
+
+    identical = serial_bytes == parallel_bytes == warm_bytes
+    if not identical:
+        print("warning: runner passes NOT byte-identical", file=sys.stderr)
+    return {
+        "cells": len(cells),
+        "jobs": jobs,
+        "serial_wall_time_s": round(serial_s, 3),
+        "parallel_wall_time_s": round(parallel_s, 3),
+        "warm_cache_wall_time_s": round(warm_s, 3),
+        "warm_cache_hits": warm_hits,
+        "byte_identical": identical,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_results.json"))
@@ -103,14 +173,37 @@ def main(argv=None) -> int:
                         help="subset of figures to run (default: all)")
     parser.add_argument("--fresh", action="store_true",
                         help="start a new trajectory instead of appending")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes for sweep cells "
+                             "(default: REPRO_JOBS or 1)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the on-disk result cache")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="result-cache location "
+                             "(default: REPRO_CACHE_DIR or .repro-cache)")
+    parser.add_argument("--compare-runner", action="store_true",
+                        help="also time serial vs parallel vs warm-cache "
+                             "on one evaluation sweep")
     args = parser.parse_args(argv)
 
+    from repro.parallel import configure_default_runner
+
+    runner = configure_default_runner(
+        jobs=args.jobs, cache_dir=args.cache_dir, no_cache=args.no_cache
+    )
     label = args.label if args.label is not None else _git_head()
     print(f"benchmark run '{label}': threads={args.threads} "
-          f"scale={args.scale} seed={args.seed}")
+          f"scale={args.scale} seed={args.seed} jobs={runner.jobs}")
+    comparison = None
+    if args.compare_runner:
+        comparison = compare_runner(
+            args.threads, args.scale, args.seed,
+            jobs=args.jobs if args.jobs and args.jobs > 1 else 4,
+        )
     start = time.perf_counter()
     figures = run_figures(args.threads, args.scale, args.seed, args.figures)
     total = time.perf_counter() - start
+    print(f"  {runner.describe()}")
 
     out = Path(args.out)
     doc = {"schema_version": TRAJECTORY_SCHEMA_VERSION, "runs": []}
@@ -122,16 +215,19 @@ def main(argv=None) -> int:
         except (ValueError, OSError):
             print(f"warning: could not parse {out}; starting fresh",
                   file=sys.stderr)
-    doc["runs"].append(
-        {
-            "label": label,
-            "threads": args.threads,
-            "scale": args.scale,
-            "seed": args.seed,
-            "total_wall_time_s": round(total, 3),
-            "figures": figures,
-        }
-    )
+    record = {
+        "label": label,
+        "threads": args.threads,
+        "scale": args.scale,
+        "seed": args.seed,
+        "jobs": runner.jobs,
+        "cache": runner.cache is not None,
+        "total_wall_time_s": round(total, 3),
+        "figures": figures,
+    }
+    if comparison is not None:
+        record["runner_comparison"] = comparison
+    doc["runs"].append(record)
     out.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
     print(f"wrote {out} ({len(doc['runs'])} run"
           f"{'s' if len(doc['runs']) != 1 else ''}, "

@@ -1,8 +1,11 @@
 """Experiment drivers regenerating the paper's evaluation.
 
 One function per figure/table of the paper (Figures 6-12, Tables 3-4).
-Results are cached per process so that figures sharing a sweep (6, 7, 8)
-pay for it once.
+Every experiment runs its cells through the sweep runner in
+:mod:`repro.parallel` — in-process memoization means figures sharing a
+sweep (6, 7, 8) pay for it once, and an attached on-disk result cache
+plus worker-process fan-out speed up repeated and large sweeps (see
+``docs/architecture.md``).
 """
 
 from repro.analysis.experiments import (

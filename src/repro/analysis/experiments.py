@@ -1,13 +1,18 @@
 """Experiment definitions for every figure and table in the paper's
 evaluation (Figures 6-12, Tables 3-4).
 
-Each ``figN_*`` / ``tableN_*`` function runs the required simulations and
-returns an :class:`EvaluationResult` whose ``report()`` prints the same
-rows/series the paper reports, next to the paper's published values.
+Each ``figN_*`` / ``tableN_*`` function enumerates the simulations it
+needs as :class:`~repro.parallel.cellspec.CellSpec` cells, hands the
+whole batch to a :class:`~repro.parallel.runner.SweepRunner` (process
+fan-out + content-addressed result cache; see ``docs/architecture.md``),
+and assembles an :class:`EvaluationResult` whose ``report()`` prints the
+same rows/series the paper reports, next to the paper's published
+values.
 
-Simulations are cached per process keyed on (benchmark, scheme, config
-signature, scale), so the figures that share a sweep — 6, 7 and 8 all use
-the fast-NVM evaluation — pay for it once.
+Cells repeated within a process — figures 6, 7 and 8 all use the
+fast-NVM evaluation — are simulated once and shared via the runner's
+memo, exactly as the old per-module dict cache did; with a cache
+attached, unchanged cells survive across processes and invocations too.
 
 Scaling: operation counts are reduced relative to the paper (a Python
 cycle-level model is ~10^3x slower than MarssX86); the ``scale`` argument
@@ -23,12 +28,17 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.report import format_comparison, format_table
 from repro.core.schemes import BASELINE, FIGURE_ORDER, Scheme
+from repro.parallel.cellspec import CellSpec
+from repro.parallel.runner import (
+    SweepRunner,
+    generate_traces_cached,
+    get_default_runner,
+)
 from repro.sim.config import SystemConfig, dram_config, fast_nvm_config, slow_nvm_config
-from repro.sim.simulator import SimResult, run_trace
+from repro.sim.simulator import SimResult
 from repro.sim.stats import geometric_mean
-from repro.workloads import BENCHMARK_ORDER, WORKLOADS
-from repro.workloads.base import generate_traces
-from repro.workloads.linkedlist_wl import LinkedListWorkload
+from repro.workloads import BENCHMARK_ORDER
+from repro.isa.trace import OpTrace
 
 
 @dataclass(frozen=True)
@@ -55,9 +65,6 @@ BENCH_SPECS: Dict[str, BenchSpec] = {
 DEFAULT_THREADS = 4
 DEFAULT_SEED = 7
 
-_trace_cache: Dict[tuple, list] = {}
-_result_cache: Dict[tuple, SimResult] = {}
-
 
 def _env_scale() -> float:
     """Scale factor from the REPRO_BENCH_SCALE environment variable."""
@@ -67,36 +74,39 @@ def _env_scale() -> float:
         return 1.0
 
 
-def benchmark_traces(name: str, threads: int, scale: float, seed: int = DEFAULT_SEED):
-    """Per-thread OpTraces for one benchmark (cached)."""
-    key = (name, threads, scale, seed)
-    if key not in _trace_cache:
-        spec = BENCH_SPECS[name]
-        init_ops = max(64, int(spec.init_ops * scale))
-        sim_ops = max(8, int(spec.sim_ops * scale))
-        _trace_cache[key] = generate_traces(
-            WORKLOADS[name],
-            threads=threads,
-            seed=seed,
-            init_ops=init_ops,
-            sim_ops=sim_ops,
-        )
-    return _trace_cache[key]
+def _bench_sizing(name: str, scale: float) -> Tuple[int, int]:
+    """(init_ops, sim_ops) for one benchmark at one scale."""
+    spec = BENCH_SPECS[name]
+    return max(64, int(spec.init_ops * scale)), max(8, int(spec.sim_ops * scale))
 
 
-def _config_key(config: SystemConfig) -> tuple:
-    mem = config.memory
-    prot = config.proteus
-    return (
-        config.cores,
-        mem.read_latency,
-        mem.write_latency,
-        mem.wpq_entries,
-        prot.logq_entries,
-        prot.llt_entries,
-        prot.lpq_entries,
-        prot.log_write_removal,
+def bench_cell(
+    name: str,
+    scheme: Scheme,
+    config: SystemConfig,
+    threads: int,
+    scale: float,
+    seed: int = DEFAULT_SEED,
+) -> CellSpec:
+    """The sweep cell for one benchmark x scheme x config simulation."""
+    init_ops, sim_ops = _bench_sizing(name, scale)
+    return CellSpec(
+        workload=name,
+        scheme=scheme,
+        config=config,
+        threads=threads,
+        seed=seed,
+        init_ops=init_ops,
+        sim_ops=sim_ops,
     )
+
+
+def benchmark_traces(
+    name: str, threads: int, scale: float, seed: int = DEFAULT_SEED
+) -> List[OpTrace]:
+    """Per-thread OpTraces for one benchmark (cached per process)."""
+    init_ops, sim_ops = _bench_sizing(name, scale)
+    return generate_traces_cached(name, threads, seed, init_ops, sim_ops)
 
 
 def run_cached(
@@ -107,12 +117,15 @@ def run_cached(
     scale: float,
     seed: int = DEFAULT_SEED,
 ) -> SimResult:
-    """Run (or fetch) one benchmark x scheme x config simulation."""
-    key = (name, scheme, _config_key(config), threads, scale, seed)
-    if key not in _result_cache:
-        traces = benchmark_traces(name, threads, scale, seed)
-        _result_cache[key] = run_trace(traces, scheme, config)
-    return _result_cache[key]
+    """Run (or fetch) one benchmark x scheme x config simulation.
+
+    Thin wrapper over the default runner, kept for ad-hoc callers (the
+    ablation benches); batch code should enumerate cells and call
+    :meth:`~repro.parallel.runner.SweepRunner.run_cells` directly.
+    """
+    return get_default_runner().run_one(
+        bench_cell(name, scheme, config, threads, scale, seed)
+    )
 
 
 @dataclass
@@ -147,17 +160,22 @@ def run_evaluation(
     threads: int = DEFAULT_THREADS,
     scale: Optional[float] = None,
     seed: int = DEFAULT_SEED,
+    runner: Optional[SweepRunner] = None,
 ) -> Dict[Tuple[str, Scheme], SimResult]:
-    """Run (benchmark x scheme) sweeps, including the PMEM baseline."""
+    """Run (benchmark x scheme) sweeps, including the PMEM baseline.
+
+    The whole matrix is enumerated up front and submitted as one batch,
+    so a parallel runner fans every cell out at once.
+    """
     scale = _env_scale() if scale is None else scale
-    results: Dict[Tuple[str, Scheme], SimResult] = {}
+    runner = get_default_runner() if runner is None else runner
     wanted = list(dict.fromkeys(list(schemes) + [BASELINE]))
-    for name in benchmarks:
-        for scheme in wanted:
-            results[(name, scheme)] = run_cached(
-                name, scheme, config, threads, scale, seed
-            )
-    return results
+    keys = [(name, scheme) for name in benchmarks for scheme in wanted]
+    cells = [
+        bench_cell(name, scheme, config, threads, scale, seed)
+        for name, scheme in keys
+    ]
+    return dict(zip(keys, runner.run_cells(cells)))
 
 
 def _speedup_rows(
@@ -192,10 +210,13 @@ def fig6_speedup_nvm(
     threads: int = DEFAULT_THREADS,
     scale: Optional[float] = None,
     seed: int = DEFAULT_SEED,
+    runner: Optional[SweepRunner] = None,
 ) -> EvaluationResult:
     """Figure 6: speedup over PMEM software logging on fast NVM."""
     config = fast_nvm_config(cores=threads)
-    results = run_evaluation(config, threads=threads, scale=scale, seed=seed)
+    results = run_evaluation(
+        config, threads=threads, scale=scale, seed=seed, runner=runner
+    )
     benchmarks = list(BENCHMARK_ORDER)
     rows = _speedup_rows(results, FIGURE_ORDER, benchmarks)
     measured = {str(s): rows[str(s)][-1] for s in FIGURE_ORDER if str(s) in rows}
@@ -223,12 +244,14 @@ def fig7_frontend_stalls(
     threads: int = DEFAULT_THREADS,
     scale: Optional[float] = None,
     seed: int = DEFAULT_SEED,
+    runner: Optional[SweepRunner] = None,
 ) -> EvaluationResult:
     """Figure 7: front-end stall cycles normalized to PMEM+nolog."""
     config = fast_nvm_config(cores=threads)
     schemes = (Scheme.ATOM, Scheme.PROTEUS, Scheme.PMEM_NOLOG)
     results = run_evaluation(
-        config, schemes=schemes, threads=threads, scale=scale, seed=seed
+        config, schemes=schemes, threads=threads, scale=scale, seed=seed,
+        runner=runner,
     )
     benchmarks = list(BENCHMARK_ORDER)
     rows: Dict[str, List[float]] = {}
@@ -270,10 +293,13 @@ def fig8_nvm_writes(
     threads: int = DEFAULT_THREADS,
     scale: Optional[float] = None,
     seed: int = DEFAULT_SEED,
+    runner: Optional[SweepRunner] = None,
 ) -> EvaluationResult:
     """Figure 8: NVMM writes normalized to PMEM+nolog."""
     config = fast_nvm_config(cores=threads)
-    results = run_evaluation(config, threads=threads, scale=scale, seed=seed)
+    results = run_evaluation(
+        config, threads=threads, scale=scale, seed=seed, runner=runner
+    )
     benchmarks = list(BENCHMARK_ORDER)
     rows: Dict[str, List[float]] = {}
     for scheme in (Scheme.PMEM, Scheme.ATOM, Scheme.PROTEUS_NOLWR, Scheme.PROTEUS):
@@ -314,10 +340,12 @@ def _latency_sensitivity(
     threads: int,
     scale: Optional[float],
     seed: int = DEFAULT_SEED,
+    runner: Optional[SweepRunner] = None,
 ) -> EvaluationResult:
     schemes = (Scheme.PMEM_PCOMMIT, Scheme.ATOM, Scheme.PROTEUS, Scheme.PMEM_NOLOG)
     results = run_evaluation(
-        config, schemes=schemes, threads=threads, scale=scale, seed=seed
+        config, schemes=schemes, threads=threads, scale=scale, seed=seed,
+        runner=runner,
     )
     benchmarks = list(BENCHMARK_ORDER)
     rows = _speedup_rows(results, schemes, benchmarks)
@@ -339,6 +367,7 @@ def fig9_slow_nvm(
     threads: int = DEFAULT_THREADS,
     scale: Optional[float] = None,
     seed: int = DEFAULT_SEED,
+    runner: Optional[SweepRunner] = None,
 ) -> EvaluationResult:
     """Figure 9: speedup on slow NVM (300 ns writes)."""
     return _latency_sensitivity(
@@ -348,6 +377,7 @@ def fig9_slow_nvm(
         threads,
         scale,
         seed=seed,
+        runner=runner,
     )
 
 
@@ -355,6 +385,7 @@ def fig10_dram(
     threads: int = DEFAULT_THREADS,
     scale: Optional[float] = None,
     seed: int = DEFAULT_SEED,
+    runner: Optional[SweepRunner] = None,
 ) -> EvaluationResult:
     """Figure 10: speedup on battery-backed DRAM."""
     return _latency_sensitivity(
@@ -364,6 +395,7 @@ def fig10_dram(
         threads,
         scale,
         seed=seed,
+        runner=runner,
     )
 
 
@@ -380,22 +412,37 @@ def fig11_logq_sweep(
     threads: int = DEFAULT_THREADS,
     scale: Optional[float] = None,
     seed: int = DEFAULT_SEED,
+    runner: Optional[SweepRunner] = None,
 ) -> EvaluationResult:
     """Figure 11: Proteus speedup vs LogQ size."""
     scale = _env_scale() if scale is None else scale
+    runner = get_default_runner() if runner is None else runner
     benchmarks = list(BENCHMARK_ORDER)
-    rows: Dict[str, List[float]] = {}
     base_config = fast_nvm_config(cores=threads)
-    baselines = {
-        name: run_cached(name, BASELINE, base_config, threads, scale, seed)
-        for name in benchmarks
-    }
+    keys: List[Tuple[str, Optional[int]]] = [
+        (name, None) for name in benchmarks
+    ] + [
+        (name, size) for size in sizes for name in benchmarks
+    ]
+    cells = [
+        bench_cell(
+            name,
+            BASELINE if size is None else Scheme.PROTEUS,
+            base_config if size is None
+            else base_config.with_proteus(logq_entries=size),
+            threads,
+            scale,
+            seed,
+        )
+        for name, size in keys
+    ]
+    results = dict(zip(keys, runner.run_cells(cells)))
+    rows: Dict[str, List[float]] = {}
     for size in sizes:
-        config = base_config.with_proteus(logq_entries=size)
-        values = []
-        for name in benchmarks:
-            result = run_cached(name, Scheme.PROTEUS, config, threads, scale, seed)
-            values.append(baselines[name].cycles / result.cycles)
+        values = [
+            results[(name, None)].cycles / results[(name, size)].cycles
+            for name in benchmarks
+        ]
         values.append(geometric_mean(values))
         rows[f"LogQ={size}"] = values
     measured = {}
@@ -424,22 +471,37 @@ def fig12_lpq_sweep(
     threads: int = DEFAULT_THREADS,
     scale: Optional[float] = None,
     seed: int = DEFAULT_SEED,
+    runner: Optional[SweepRunner] = None,
 ) -> EvaluationResult:
     """Figure 12: Proteus speedup vs LPQ size (LogQ fixed at 16)."""
     scale = _env_scale() if scale is None else scale
+    runner = get_default_runner() if runner is None else runner
     benchmarks = list(BENCHMARK_ORDER)
-    rows: Dict[str, List[float]] = {}
     base_config = fast_nvm_config(cores=threads)
-    baselines = {
-        name: run_cached(name, BASELINE, base_config, threads, scale, seed)
-        for name in benchmarks
-    }
+    keys: List[Tuple[str, Optional[int]]] = [
+        (name, None) for name in benchmarks
+    ] + [
+        (name, size) for size in sizes for name in benchmarks
+    ]
+    cells = [
+        bench_cell(
+            name,
+            BASELINE if size is None else Scheme.PROTEUS,
+            base_config if size is None
+            else base_config.with_proteus(lpq_entries=size, logq_entries=16),
+            threads,
+            scale,
+            seed,
+        )
+        for name, size in keys
+    ]
+    results = dict(zip(keys, runner.run_cells(cells)))
+    rows: Dict[str, List[float]] = {}
     for size in sizes:
-        config = base_config.with_proteus(lpq_entries=size, logq_entries=16)
-        values = []
-        for name in benchmarks:
-            result = run_cached(name, Scheme.PROTEUS, config, threads, scale, seed)
-            values.append(baselines[name].cycles / result.cycles)
+        values = [
+            results[(name, None)].cycles / results[(name, size)].cycles
+            for name in benchmarks
+        ]
         values.append(geometric_mean(values))
         rows[f"LPQ={size}"] = values
     paper = {
@@ -477,40 +539,64 @@ def table3_large_transactions(
     nodes: int = 16,
     transactions: int = 4,
     seed: int = DEFAULT_SEED,
+    runner: Optional[SweepRunner] = None,
 ) -> EvaluationResult:
     """Table 3: Proteus vs ideal on variable-size large transactions."""
     scale = _env_scale() if scale is None else scale
+    runner = get_default_runner() if runner is None else runner
     transactions = max(2, int(transactions * scale))
-    rows: Dict[str, List[float]] = {
-        "Proteus": [],
-        "Proteus (LPQ=tx)": [],
-        "PMEM+nolog(ideal)": [],
-    }
-    for elements in sizes:
-        traces = generate_traces(
-            LinkedListWorkload,
+    config = fast_nvm_config(cores=threads)
+
+    def cell(elements: int, scheme: Scheme, cfg: SystemConfig) -> CellSpec:
+        return CellSpec(
+            workload="LL",
+            scheme=scheme,
+            config=cfg,
             threads=threads,
             seed=seed,
             init_ops=nodes,
             sim_ops=transactions,
-            elements_per_node=elements,
+            workload_kwargs=(("elements_per_node", elements),),
         )
-        config = fast_nvm_config(cores=threads)
-        # A second Proteus configuration whose LPQ covers the whole
-        # transaction footprint (one 32 B-grain entry per block).  Our
-        # single-channel substrate saturates on spilled log writes at
-        # these sizes, which the paper's testbed evidently did not; this
-        # row shows the paper's near-ideal result is recovered once the
-        # spill pressure is removed (see EXPERIMENTS.md).
-        big_lpq = config.with_proteus(lpq_entries=max(256, elements // 2))
-        base = run_trace(traces, BASELINE, config)
-        for scheme, cfg, label in (
-            (Scheme.PROTEUS, config, "Proteus"),
-            (Scheme.PROTEUS, big_lpq, "Proteus (LPQ=tx)"),
-            (Scheme.PMEM_NOLOG, config, "PMEM+nolog(ideal)"),
-        ):
-            result = run_trace(traces, scheme, cfg)
-            rows[label].append(base.cycles / result.cycles)
+
+    # A second Proteus configuration whose LPQ covers the whole
+    # transaction footprint (one 32 B-grain entry per block).  Our
+    # single-channel substrate saturates on spilled log writes at
+    # these sizes, which the paper's testbed evidently did not; this
+    # row shows the paper's near-ideal result is recovered once the
+    # spill pressure is removed (see EXPERIMENTS.md).
+    variants = [
+        ("baseline", BASELINE, lambda elements: config),
+        ("Proteus", Scheme.PROTEUS, lambda elements: config),
+        (
+            "Proteus (LPQ=tx)",
+            Scheme.PROTEUS,
+            lambda elements: config.with_proteus(
+                lpq_entries=max(256, elements // 2)
+            ),
+        ),
+        ("PMEM+nolog(ideal)", Scheme.PMEM_NOLOG, lambda elements: config),
+    ]
+    keys = [
+        (label, elements)
+        for elements in sizes
+        for label, _, _ in variants
+    ]
+    cells = [
+        cell(elements, scheme, cfg_for(elements))
+        for elements in sizes
+        for _, scheme, cfg_for in variants
+    ]
+    results = dict(zip(keys, runner.run_cells(cells)))
+    rows: Dict[str, List[float]] = {
+        label: [
+            results[("baseline", elements)].cycles
+            / results[(label, elements)].cycles
+            for elements in sizes
+        ]
+        for label, _, _ in variants
+        if label != "baseline"
+    }
     measured = {}
     if 1024 in sizes:
         idx = list(sizes).index(1024)
@@ -547,15 +633,19 @@ def table4_llt_miss_rate(
     threads: int = DEFAULT_THREADS,
     scale: Optional[float] = None,
     seed: int = DEFAULT_SEED,
+    runner: Optional[SweepRunner] = None,
 ) -> EvaluationResult:
     """Table 4: LLT miss rate (%) per benchmark under Proteus."""
     scale = _env_scale() if scale is None else scale
+    runner = get_default_runner() if runner is None else runner
     config = fast_nvm_config(cores=threads)
     benchmarks = list(TABLE4_PAPER)
-    values = []
-    for name in benchmarks:
-        result = run_cached(name, Scheme.PROTEUS, config, threads, scale, seed)
-        values.append(100.0 * result.stats.llt_miss_rate())
+    cells = [
+        bench_cell(name, Scheme.PROTEUS, config, threads, scale, seed)
+        for name in benchmarks
+    ]
+    results = runner.run_cells(cells)
+    values = [100.0 * result.stats.llt_miss_rate() for result in results]
     rows = {"miss rate %": values}
     measured = dict(zip(benchmarks, values))
     return EvaluationResult(

@@ -10,11 +10,12 @@ fixed seed.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.core.schemes import Scheme
 from repro.lint.diagnostics import LintResult
 from repro.lint.runner import lint_workload
+from repro.parallel.runner import parallel_map
 from repro.workloads import BENCHMARK_ORDER
 
 
@@ -79,6 +80,17 @@ class LintSweepResult:
         return "\n".join(lines) + "\n"
 
 
+def _lint_task(
+    item: Tuple[Scheme, str, int, int, Optional[int], Optional[int]]
+) -> LintResult:
+    """Module-level task wrapper so results can cross a process boundary."""
+    scheme, workload, threads, seed, init_ops, sim_ops = item
+    return lint_workload(
+        scheme, workload, threads=threads, seed=seed,
+        init_ops=init_ops, sim_ops=sim_ops,
+    )
+
+
 def lint_sweep(
     schemes: Optional[Sequence[Union[Scheme, str]]] = None,
     workloads: Optional[Sequence[str]] = None,
@@ -86,24 +98,19 @@ def lint_sweep(
     seed: int = 42,
     init_ops: Optional[int] = None,
     sim_ops: Optional[int] = None,
+    jobs: int = 1,
 ) -> LintSweepResult:
     """Lint every (scheme, workload) combination of the given sets.
 
-    Defaults sweep all bundled schemes over all bundled workloads.
+    Defaults sweep all bundled schemes over all bundled workloads.  With
+    ``jobs > 1`` the cells are linted in worker processes; result order
+    (and therefore the report) is identical either way.
     """
     scheme_list = [Scheme.parse(s) for s in schemes] if schemes else list(Scheme)
     workload_list = list(workloads) if workloads else list(BENCHMARK_ORDER)
-    sweep = LintSweepResult()
-    for scheme in scheme_list:
-        for workload in workload_list:
-            sweep.results.append(
-                lint_workload(
-                    scheme,
-                    workload,
-                    threads=threads,
-                    seed=seed,
-                    init_ops=init_ops,
-                    sim_ops=sim_ops,
-                )
-            )
-    return sweep
+    items = [
+        (scheme, workload, threads, seed, init_ops, sim_ops)
+        for scheme in scheme_list
+        for workload in workload_list
+    ]
+    return LintSweepResult(results=parallel_map(_lint_task, items, jobs=jobs))

@@ -18,13 +18,14 @@ stable under scaling just as they are for the figures.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.experiments import DEFAULT_SEED, benchmark_traces
 from repro.analysis.report import format_table
 from repro.core.schemes import FIGURE_ORDER, Scheme
 from repro.obs.spans import ATTRIBUTION_CLASSES, attribution_totals, build_tx_spans
 from repro.obs.tracer import Tracer
+from repro.parallel.runner import parallel_map
 from repro.sim.config import fast_nvm_config
 from repro.sim.simulator import run_trace
 
@@ -158,24 +159,35 @@ def profile_one(
     )
 
 
+def _profile_task(item: Tuple[Scheme, str, int, float, int]) -> ProfileCell:
+    """Module-level task wrapper so cells can cross a process boundary."""
+    scheme, workload, threads, scale, seed = item
+    return profile_one(scheme, workload, threads=threads, scale=scale, seed=seed)
+
+
 def profile_sweep(
     schemes: Optional[Sequence[Scheme]] = None,
     workloads: Optional[Sequence[str]] = None,
     threads: int = 1,
     scale: float = DEFAULT_PROFILE_SCALE,
     seed: int = DEFAULT_SEED,
+    jobs: int = 1,
 ) -> ProfileSweepResult:
     """Trace the scheme × workload matrix and attribute every cell.
 
-    Defaults to the five figure schemes over every benchmark.
+    Defaults to the five figure schemes over every benchmark.  With
+    ``jobs > 1`` the cells are traced in worker processes (only the
+    compact :class:`ProfileCell` attributions cross back — the raw event
+    streams, the memory cost driver here, stay worker-local).
     """
     from repro.workloads import BENCHMARK_ORDER
 
     schemes = list(FIGURE_ORDER) if schemes is None else list(schemes)
     workloads = list(BENCHMARK_ORDER) if workloads is None else list(workloads)
-    cells = [
-        profile_one(scheme, workload, threads=threads, scale=scale, seed=seed)
+    items = [
+        (scheme, workload, threads, scale, seed)
         for workload in workloads
         for scheme in schemes
     ]
+    cells = parallel_map(_profile_task, items, jobs=jobs)
     return ProfileSweepResult(cells=cells, threads=threads, scale=scale, seed=seed)

@@ -23,6 +23,7 @@ Examples::
     python -m repro run --benchmark QE --scheme Proteus --ops 40
     python -m repro compare --benchmark AT --threads 2
     python -m repro experiment fig6 --threads 2 --scale 0.25 --seed 7
+    python -m repro experiment fig11 --jobs 4 --cache-dir .repro-cache
     python -m repro crash --benchmark HM --crashes 100 --scheme ATOM
     python -m repro faults --scheme proteus --workload btree --crashes 200 --seed 7
     python -m repro lint --scheme all --workload all
@@ -134,11 +135,16 @@ def cmd_compare(args) -> int:
 
 def cmd_experiment(args) -> int:
     import repro.analysis as analysis
+    from repro.parallel import configure_default_runner
 
+    runner = configure_default_runner(
+        jobs=args.jobs, cache_dir=args.cache_dir, no_cache=args.no_cache
+    )
     if args.name == "all":
         from repro.analysis.summary import full_report
 
         print(full_report(threads=args.threads, scale=args.scale, seed=args.seed))
+        print(runner.describe())
         return 0
     function = getattr(analysis, EXPERIMENTS[args.name])
     kwargs = {}
@@ -150,6 +156,7 @@ def cmd_experiment(args) -> int:
         kwargs["seed"] = args.seed
     result = function(**kwargs)
     print(result.report())
+    print(runner.describe())
     return 0
 
 
@@ -237,6 +244,7 @@ def cmd_lint(args) -> int:
         seed=args.seed,
         init_ops=args.init,
         sim_ops=args.ops,
+        jobs=args.jobs,
     )
     if args.json:
         print(render_json(sweep.results))
@@ -325,6 +333,7 @@ def cmd_profile(args) -> int:
         threads=args.threads,
         scale=DEFAULT_PROFILE_SCALE if args.scale is None else args.scale,
         seed=args.seed,
+        jobs=args.jobs,
     )
     print(sweep.report())
     return 0
@@ -353,6 +362,19 @@ def build_parser() -> argparse.ArgumentParser:
     experiment_parser.add_argument("--threads", type=int, default=4)
     experiment_parser.add_argument("--scale", type=float, default=None)
     experiment_parser.add_argument("--seed", type=int, default=None)
+    experiment_parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="simulate up to N sweep cells in parallel worker processes "
+             "(default: REPRO_JOBS or 1)",
+    )
+    experiment_parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the on-disk result cache for this run",
+    )
+    experiment_parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result-cache location (default: REPRO_CACHE_DIR or .repro-cache)",
+    )
     experiment_parser.set_defaults(func=cmd_experiment)
 
     crash_parser = subparsers.add_parser("crash", help="crash/recovery check")
@@ -421,6 +443,10 @@ def build_parser() -> argparse.ArgumentParser:
                              help="exit 1 on warnings too")
     lint_parser.add_argument("--verbose", action="store_true",
                              help="print every diagnostic, warnings included")
+    lint_parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="lint up to N matrix cells in parallel worker processes",
+    )
     lint_parser.set_defaults(func=cmd_lint)
 
     trace_parser = subparsers.add_parser(
@@ -454,6 +480,10 @@ def build_parser() -> argparse.ArgumentParser:
     profile_parser.add_argument("--threads", type=int, default=1)
     profile_parser.add_argument("--scale", type=float, default=None)
     profile_parser.add_argument("--seed", type=int, default=7)
+    profile_parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="trace up to N matrix cells in parallel worker processes",
+    )
     profile_parser.set_defaults(func=cmd_profile)
     return parser
 

@@ -243,6 +243,21 @@ class MemoryController:
             and self._writes_retrying == 0
         )
 
+    def drain_pending(self) -> bool:
+        """True while the end-of-simulation drain still has work to do.
+
+        Everything :meth:`persistent_writes_pending` covers, plus — under
+        Proteus+NoLWR, where flash clear is disabled — LPQ entries that
+        must still reach NVM.  (A regular Proteus LPQ is deliberately
+        *not* included: its surviving entries belong to committed
+        transactions and would have been flash cleared.)
+        """
+        if self.persistent_writes_pending():
+            return True
+        if self.lpq is not None and not self.log_write_removal:
+            return not self.lpq.is_empty()
+        return False
+
     def notify_when_persistent(self, callback: Callable[[], None]) -> None:
         """Fire ``callback`` once every accepted write is in NVM (pcommit)."""
         if not self.persistent_writes_pending():
@@ -251,6 +266,19 @@ class MemoryController:
             self._drain_waiters.append(callback)
 
     # -- drain pumps -----------------------------------------------------------------
+
+    def pump(self) -> None:
+        """Dispatch whatever the drain policy allows right now.
+
+        The public re-pump hook: both queues are offered to the device,
+        WPQ first (the arbiter's preference).  Policy is unchanged — a
+        Proteus LPQ still holds entries below its watermark — so calling
+        this is always safe; it only matters when a queue idled with
+        entries after the device went quiet (the end-of-simulation drain
+        relies on it).
+        """
+        self._pump_wpq()
+        self._pump_lpq()
 
     def _dispatch_write(self, entry: QueueEntry, attempt: int = 0) -> None:
         hooks = self.fault_hooks

@@ -1,0 +1,61 @@
+"""Parallel sweep execution with content-addressed result caching.
+
+The repo's scaling layer: every evaluation sweep enumerates its cells as
+picklable :class:`CellSpec` records and hands them to a
+:class:`SweepRunner`, which fans them out over a process pool and backs
+them with an on-disk :class:`ResultCache` keyed by a stable content hash
+of (machine configuration, scheme, workload trace identity, code
+version).  Unchanged cells load instead of re-simulating; results are
+byte-identical either way.  See ``docs/architecture.md`` ("Parallel
+sweep runner") for the design and determinism guarantees.
+"""
+
+from repro.parallel.cache import DEFAULT_CACHE_DIR, ResultCache, default_cache_dir
+from repro.parallel.cellspec import (
+    CACHE_SCHEMA_VERSION,
+    CellSpec,
+    SWEEP_WORKLOADS,
+    canonical_json,
+    config_from_dict,
+    config_to_dict,
+    payload_to_result,
+    repo_code_version,
+    result_bytes,
+    result_to_payload,
+)
+from repro.parallel.runner import (
+    SweepRunner,
+    configure_default_runner,
+    default_jobs,
+    execute_cell,
+    generate_traces_cached,
+    get_default_runner,
+    parallel_map,
+    set_default_runner,
+    traces_for,
+)
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "DEFAULT_CACHE_DIR",
+    "CellSpec",
+    "ResultCache",
+    "SWEEP_WORKLOADS",
+    "SweepRunner",
+    "canonical_json",
+    "config_from_dict",
+    "config_to_dict",
+    "configure_default_runner",
+    "default_cache_dir",
+    "default_jobs",
+    "execute_cell",
+    "generate_traces_cached",
+    "get_default_runner",
+    "parallel_map",
+    "payload_to_result",
+    "repo_code_version",
+    "result_bytes",
+    "result_to_payload",
+    "set_default_runner",
+    "traces_for",
+]

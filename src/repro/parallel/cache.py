@@ -1,0 +1,125 @@
+"""Content-addressed on-disk result cache.
+
+One file per cell, named by the cell's content digest (see
+:meth:`~repro.parallel.cellspec.CellSpec.digest`), holding the canonical
+JSON payload of its :class:`~repro.sim.simulator.SimResult`.  Because
+the digest covers the full machine configuration, the workload sizing,
+the seed, *and* a hash of the ``repro`` sources, a hit can only occur
+when re-simulating would reproduce the stored result bit for bit — so a
+cached load and a fresh run are interchangeable (the byte-identity tests
+in ``tests/test_result_cache.py`` hold this line).
+
+Robustness contract: a corrupted, truncated, or foreign cache file is a
+*miss*, never an error — the cell falls back to simulation and the bad
+file is overwritten by the fresh result.  Writes are atomic (temp file +
+``os.replace``) so a crashed run cannot leave a half-written entry that
+poisons the next one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.parallel.cellspec import (
+    CellSpec,
+    canonical_json,
+    payload_to_result,
+    repo_code_version,
+    result_to_payload,
+)
+from repro.sim.simulator import SimResult
+
+#: Default cache location (overridable via the ``REPRO_CACHE_DIR``
+#: environment variable or the ``--cache-dir`` CLI flag).
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def default_cache_dir() -> Path:
+    """Resolve the default cache directory for this invocation."""
+    return Path(os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR))
+
+
+class ResultCache:
+    """Load/store simulation results keyed by cell content digest."""
+
+    def __init__(
+        self,
+        root: Union[str, Path, None] = None,
+        code_version: Optional[str] = None,
+    ) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        #: pinned code version; ``None`` means "hash the sources" (see
+        #: :func:`~repro.parallel.cellspec.repo_code_version`).
+        self.code_version = code_version
+        self.hits = 0
+        self.misses = 0
+        self.corrupt = 0
+        self.stores = 0
+
+    # -- key / path --------------------------------------------------------
+
+    def digest(self, spec: CellSpec) -> str:
+        return spec.digest(code_version=self.code_version)
+
+    def path_for(self, spec: CellSpec) -> Path:
+        """On-disk location of a cell's payload (two-level fan-out)."""
+        digest = self.digest(spec)
+        return self.root / digest[:2] / f"{digest}.json"
+
+    # -- load / store ------------------------------------------------------
+
+    def load(self, spec: CellSpec) -> Optional[SimResult]:
+        """Return the cached result, or ``None`` on miss/corruption."""
+        path = self.path_for(spec)
+        try:
+            raw = path.read_text()
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            result = payload_to_result(json.loads(raw))
+        except (ValueError, KeyError, TypeError):
+            # Corrupted or schema-incompatible entry: fall back to
+            # simulation; the fresh result will overwrite this file.
+            self.corrupt += 1
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def store(self, spec: CellSpec, result: SimResult) -> None:
+        """Persist a result atomically; I/O failures are non-fatal."""
+        path = self.path_for(spec)
+        payload = canonical_json(result_to_payload(result))
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                dir=str(path.parent), prefix=".tmp-", suffix=".json"
+            )
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    handle.write(payload)
+                os.replace(tmp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+        except OSError:  # cache is best-effort; the result is still returned
+            return
+        self.stores += 1
+
+    # -- reporting ---------------------------------------------------------
+
+    def describe(self) -> str:
+        version = self.code_version or repo_code_version()
+        return (
+            f"cache {self.root} (code {version[:12]}): "
+            f"{self.hits} hit(s), {self.misses} miss(es), "
+            f"{self.corrupt} corrupt, {self.stores} stored"
+        )

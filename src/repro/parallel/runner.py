@@ -1,0 +1,281 @@
+"""Sweep execution: fan cells out over processes, backed by the cache.
+
+:class:`SweepRunner` is the one chokepoint through which every
+figure/table experiment, ablation, and profiling sweep runs its
+simulations.  For each batch of :class:`~repro.parallel.cellspec.CellSpec`
+it consults, in order:
+
+1. the **in-process memo** — repeated requests for the same cell inside
+   one process return the same :class:`~repro.sim.simulator.SimResult`
+   object (figures 6/7/8 share one sweep this way, exactly as the old
+   per-module dict cache did);
+2. the **on-disk content-addressed cache** (when attached) — unchanged
+   cells load instead of re-simulating;
+3. **simulation** — inline when ``jobs == 1``, else fanned out over a
+   ``ProcessPoolExecutor``.
+
+Every cell is self-contained (workload regenerated from its seed inside
+the executing process, fresh ``Stats``/engine/machine per run, the
+shared ``NULL_TRACER`` never rebound), so results are independent of
+batch order, of ``jobs``, and of which cells happen to share a batch —
+``tests/test_parallel_runner.py`` shuffles cell order and compares
+byte-for-byte.
+
+:func:`parallel_map` is the generic sibling used by the profile and lint
+sweeps, whose task results are not simulation payloads.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple, TypeVar
+
+from repro.isa.trace import OpTrace
+from repro.parallel.cache import ResultCache, default_cache_dir
+from repro.parallel.cellspec import (
+    CellSpec,
+    SWEEP_WORKLOADS,
+    canonical_json,
+    payload_to_result,
+    result_to_payload,
+)
+from repro.sim.simulator import SimResult, run_trace
+from repro.workloads.base import generate_traces
+
+ItemT = TypeVar("ItemT")
+ResultT = TypeVar("ResultT")
+
+#: Per-process memo of generated traces keyed by the trace-identity part
+#: of a spec.  Traces are pure functions of this key and are treated as
+#: immutable by the simulator (the shuffled-order determinism test holds
+#: that line), so sharing them across cells is safe.
+_trace_memo: Dict[str, List[OpTrace]] = {}
+
+
+def generate_traces_cached(
+    workload: str,
+    threads: int,
+    seed: int,
+    init_ops: int,
+    sim_ops: int,
+    workload_kwargs: Tuple[Tuple[str, Any], ...] = (),
+) -> List[OpTrace]:
+    """Per-process cached trace generation for one trace identity.
+
+    Scheme comparisons deliberately share one trace object per identity
+    so every scheme runs identical work (and trace generation is paid
+    once per process, not once per cell).
+    """
+    key = canonical_json(
+        [workload, threads, seed, init_ops, sim_ops,
+         [list(pair) for pair in workload_kwargs]]
+    )
+    if key not in _trace_memo:
+        _trace_memo[key] = generate_traces(
+            SWEEP_WORKLOADS[workload],
+            threads=threads,
+            seed=seed,
+            init_ops=init_ops,
+            sim_ops=sim_ops,
+            **dict(workload_kwargs),
+        )
+    return _trace_memo[key]
+
+
+def traces_for(spec: CellSpec) -> List[OpTrace]:
+    """Per-process cached trace generation for a cell."""
+    return generate_traces_cached(
+        spec.workload, spec.threads, spec.seed, spec.init_ops, spec.sim_ops,
+        spec.workload_kwargs,
+    )
+
+
+def execute_cell(spec: CellSpec) -> SimResult:
+    """Simulate one cell in this process (fresh machine, cached traces)."""
+    return run_trace(
+        traces_for(spec), spec.scheme, spec.config, max_cycles=spec.max_cycles
+    )
+
+
+def _simulate_cell_payload(spec_data: Dict[str, Any]) -> Dict[str, Any]:
+    """Worker entry point: run one cell, return its canonical payload.
+
+    Runs in a pool process: the spec dict crosses the pipe in, the plain
+    result payload crosses back out — no live simulator objects are ever
+    pickled, and each cell gets a process-fresh engine/stats/tracer.
+    """
+    spec = CellSpec.from_dict(spec_data)
+    return result_to_payload(execute_cell(spec))
+
+
+def default_jobs() -> int:
+    """Job count from the ``REPRO_JOBS`` environment variable (default 1)."""
+    try:
+        return max(1, int(os.environ.get("REPRO_JOBS", "1")))
+    except ValueError:
+        return 1
+
+
+class SweepRunner:
+    """Execute batches of sweep cells with memoization and caching."""
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: Optional[ResultCache] = None,
+    ) -> None:
+        self.jobs = max(1, jobs)
+        self.cache = cache
+        self._memo: Dict[str, SimResult] = {}
+        self.simulated = 0
+        self.memo_hits = 0
+
+    # -- batch execution ---------------------------------------------------
+
+    def run_cells(self, specs: Sequence[CellSpec]) -> List[SimResult]:
+        """Run (or fetch) every cell; returns results aligned with ``specs``.
+
+        Duplicate cells within a batch are executed once.
+        """
+        keys = [canonical_json(spec.describe()) for spec in specs]
+        resolved: Dict[str, SimResult] = {}
+        pending: List[Tuple[str, CellSpec]] = []
+        seen_pending: Set[str] = set()
+        for key, spec in zip(keys, specs):
+            if key in self._memo:
+                self.memo_hits += 1
+                resolved[key] = self._memo[key]
+                continue
+            if key in resolved or key in seen_pending:
+                continue
+            if self.cache is not None:
+                cached = self.cache.load(spec)
+                if cached is not None:
+                    resolved[key] = cached
+                    continue
+            seen_pending.add(key)
+            pending.append((key, spec))
+
+        for key, spec, result in self._execute(pending):
+            if self.cache is not None:
+                self.cache.store(spec, result)
+            resolved[key] = result
+
+        for key in resolved:
+            self._memo.setdefault(key, resolved[key])
+        return [self._memo[key] for key in keys]
+
+    def run_one(self, spec: CellSpec) -> SimResult:
+        """Run (or fetch) a single cell."""
+        return self.run_cells([spec])[0]
+
+    # -- internals ---------------------------------------------------------
+
+    def _execute(
+        self, pending: Sequence[Tuple[str, CellSpec]]
+    ) -> List[Tuple[str, CellSpec, SimResult]]:
+        if not pending:
+            return []
+        self.simulated += len(pending)
+        if self.jobs > 1 and len(pending) > 1:
+            with ProcessPoolExecutor(
+                max_workers=min(self.jobs, len(pending))
+            ) as pool:
+                payloads = list(
+                    pool.map(
+                        _simulate_cell_payload,
+                        [spec.to_dict() for _, spec in pending],
+                    )
+                )
+            return [
+                (key, spec, payload_to_result(payload))
+                for (key, spec), payload in zip(pending, payloads)
+            ]
+        return [(key, spec, execute_cell(spec)) for key, spec in pending]
+
+    # -- reporting ---------------------------------------------------------
+
+    def describe(self) -> str:
+        parts = [
+            f"runner jobs={self.jobs}: {self.simulated} simulated, "
+            f"{self.memo_hits} memo hit(s)"
+        ]
+        if self.cache is not None:
+            parts.append(self.cache.describe())
+        return "; ".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# default runner (library-level entry point)
+# ---------------------------------------------------------------------------
+
+_default_runner: Optional[SweepRunner] = None
+
+
+def get_default_runner() -> SweepRunner:
+    """The process-wide runner used when an experiment is given none.
+
+    Built lazily from the environment: ``REPRO_JOBS`` sets the job
+    count; the on-disk cache attaches only when ``REPRO_CACHE_DIR`` is
+    set or ``REPRO_CACHE=1`` — library/test use stays disk-free unless
+    opted in, while the CLI attaches a cache explicitly.
+    """
+    global _default_runner
+    if _default_runner is None:
+        cache: Optional[ResultCache] = None
+        if os.environ.get("REPRO_CACHE_DIR") or os.environ.get("REPRO_CACHE") == "1":
+            cache = ResultCache(default_cache_dir())
+        _default_runner = SweepRunner(jobs=default_jobs(), cache=cache)
+    return _default_runner
+
+
+def set_default_runner(runner: Optional[SweepRunner]) -> Optional[SweepRunner]:
+    """Install (or, with ``None``, reset) the process-wide runner.
+
+    Returns the previous runner so callers can restore it.
+    """
+    global _default_runner
+    previous = _default_runner
+    _default_runner = runner
+    return previous
+
+
+def configure_default_runner(
+    jobs: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+    no_cache: bool = False,
+) -> SweepRunner:
+    """Build and install a runner from CLI-style options.
+
+    The CLI default is cache *on* (at :func:`default_cache_dir`);
+    ``no_cache`` turns it off, ``cache_dir`` relocates it.
+    """
+    cache = None if no_cache else ResultCache(cache_dir or default_cache_dir())
+    runner = SweepRunner(
+        jobs=default_jobs() if jobs is None else jobs, cache=cache
+    )
+    set_default_runner(runner)
+    return runner
+
+
+# ---------------------------------------------------------------------------
+# generic parallel map (profile / lint sweeps)
+# ---------------------------------------------------------------------------
+
+
+def parallel_map(
+    function: Callable[[ItemT], ResultT],
+    items: Sequence[ItemT],
+    jobs: int = 1,
+) -> List[ResultT]:
+    """Order-preserving map, fanned out over processes when ``jobs > 1``.
+
+    ``function`` must be a module-level callable and items/results must
+    be picklable (they cross the process boundary).  With ``jobs <= 1``
+    this is a plain in-process map with identical semantics.
+    """
+    if jobs <= 1 or len(items) <= 1:
+        return [function(item) for item in items]
+    with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as pool:
+        return list(pool.map(function, items))

@@ -180,9 +180,10 @@ class Simulator:
                 sampler.maybe_sample()
             if all(core.finished() for core in cores):
                 break
-            if engine.cycle > max_cycles:
+            if engine.cycle >= max_cycles:
                 raise RuntimeError(
-                    f"simulation exceeded {max_cycles} cycles "
+                    f"simulation exceeded its budget of {max_cycles} cycles "
+                    f"at cycle {engine.cycle} "
                     f"(scheme={self.scheme}, {self._progress_report()})"
                 )
             fired = engine.fire_due_events()
@@ -225,12 +226,22 @@ class Simulator:
         """
         if self.memctrl.lpq is not None and not self.memctrl.log_write_removal:
             self.memctrl.flush_logs()
-        # Nudge the WPQ pump in case it idled with entries queued.
-        self.memctrl._pump_wpq()
-        while self.memctrl.persistent_writes_pending() or self.engine.pending_events():
-            if not self.engine.advance_to_next_event():
+        while True:
+            # Pump before checking for work: a queue that idled with
+            # entries after the device went quiet has no event scheduled,
+            # so only a pump can restart it.  (The old loop pumped only
+            # *after* advancing to an event and broke as soon as none
+            # were pending — stranding exactly those writes.)
+            self.memctrl.pump()
+            if not (self.memctrl.drain_pending() or self.engine.pending_events()):
                 break
-            self.memctrl._pump_wpq()
+            if not self.engine.advance_to_next_event():
+                if self.memctrl.drain_pending():
+                    raise RuntimeError(
+                        f"final drain stalled with writes pending and no "
+                        f"events (scheme={self.scheme})"
+                    )
+                break
 
     def _progress_report(self) -> str:
         parts = []

@@ -56,6 +56,80 @@ def test_max_cycles_guard():
         run_trace(traces, Scheme.PMEM, fast_nvm_config(cores=1), max_cycles=10)
 
 
+def test_max_cycles_bound_is_inclusive():
+    # A budget of exactly the core-finish cycle succeeds; one cycle less
+    # raises.  (The old check used ``>`` and silently granted one cycle
+    # beyond the stated budget.)
+    traces = generate_traces(QueueWorkload, threads=1, seed=3, init_ops=32, sim_ops=2)
+    config = fast_nvm_config(cores=1)
+    reference = Simulator(config, Scheme.PMEM, traces)
+    full = reference.run()
+    finish = reference.core_finish_cycle
+
+    exact = Simulator(config, Scheme.PMEM, traces).run(max_cycles=finish)
+    assert exact.cycles == full.cycles
+
+    with pytest.raises(RuntimeError, match="budget"):
+        Simulator(config, Scheme.PMEM, traces).run(max_cycles=finish - 1)
+
+
+def test_final_drain_recovers_stranded_wpq():
+    # Directly construct the state the old drain loop got wrong: entries
+    # sitting in the WPQ with no event scheduled anywhere (the queue
+    # idled after the device went quiet).  The old loop advanced to the
+    # next event *first* and broke when there was none — returning with
+    # persistent writes still pending.
+    from repro.mem.wpq import QueueEntry
+
+    traces = generate_traces(QueueWorkload, threads=1, seed=3, init_ops=16, sim_ops=2)
+    sim = Simulator(fast_nvm_config(cores=1), Scheme.PMEM, traces)
+    for index in range(5):
+        sim.memctrl.wpq.submit(QueueEntry(0x10000 + 64 * index, category="data"))
+    assert sim.engine.pending_events() == 0
+    assert sim.memctrl.persistent_writes_pending()
+
+    sim._final_drain()
+
+    assert sim.memctrl.all_writes_retired()
+    assert not sim.memctrl.drain_pending()
+    assert sim.stats.counters["nvm.write.data"] == 5
+
+
+def test_final_drain_flushes_nolwr_lpq_admission_backlog():
+    # Proteus+NoLWR must drain *every* log entry, including those parked
+    # in the LPQ admission queue when the flush snapshot is taken.
+    from repro.mem.wpq import QueueEntry
+
+    traces = generate_traces(QueueWorkload, threads=1, seed=3, init_ops=16, sim_ops=2)
+    sim = Simulator(fast_nvm_config(cores=1), Scheme.PROTEUS_NOLWR, traces)
+    lpq = sim.memctrl.lpq
+    assert lpq is not None and not sim.memctrl.log_write_removal
+    for index in range(lpq.capacity + 4):  # overflow into admission
+        lpq.submit(QueueEntry(0x20000 + 64 * index, category="log",
+                              thread_id=0, txid=1))
+    assert lpq.waiting_admission() == 4
+    assert sim.memctrl.drain_pending()
+
+    sim._final_drain()
+
+    assert lpq.is_empty()
+    assert sim.memctrl.all_writes_retired()
+    assert sim.stats.counters["nvm.write.log"] == lpq.capacity + 4
+
+
+def test_memctrl_pump_is_public_and_idempotent():
+    from repro.mem.wpq import QueueEntry
+
+    traces = generate_traces(QueueWorkload, threads=1, seed=3, init_ops=16, sim_ops=2)
+    sim = Simulator(fast_nvm_config(cores=1), Scheme.PMEM, traces)
+    sim.memctrl.wpq.submit(QueueEntry(0x30000, category="data"))
+    sim.memctrl.pump()
+    sim.memctrl.pump()  # no-op on an already-dispatched queue
+    assert sim.memctrl.wpq.is_empty()
+    sim.engine.run_until_idle()
+    assert sim.memctrl.all_writes_retired()
+
+
 def test_final_drain_completes_write_accounting():
     result = run_workload(
         QueueWorkload, Scheme.PMEM, threads=1, seed=3, init_ops=32, sim_ops=5
