@@ -25,6 +25,14 @@ Sweeps run through the parallel sweep runner (``repro.parallel``):
 ``--compare-runner`` additionally times one evaluation sweep three ways
 — serial cold, parallel cold, warm cache — verifying the three produce
 byte-identical results and recording the wall times in the run record.
+
+Checkpointing comparisons (``repro.snapshot``): ``--compare-faults``
+times one crash campaign cold (every case simulates from reset) vs
+launched from a warm checkpoint, verifying both pass;
+``--compare-sampling`` times the full detailed run of two workloads vs
+SMARTS-style interval sampling, recording wall times, the sampled
+estimates with their confidence intervals, and the relative error
+against the full run.
 """
 
 from __future__ import annotations
@@ -159,6 +167,112 @@ def compare_runner(
     }
 
 
+def compare_faults(seed: int) -> dict:
+    """Time one crash campaign cold vs warm-checkpointed.
+
+    Both campaigns run the same planned crashes; the warm one simulates
+    the prefix once, snapshots the quiesced machine, and restores it for
+    every case.  Both must pass.
+    """
+    from repro.faults import run_campaign
+
+    sizing = dict(
+        crashes=60, seed=seed, threads=1, init_ops=200, sim_ops=40,
+        mode="none",
+    )
+
+    start = time.perf_counter()
+    cold = run_campaign("Proteus", "QE", **sizing)
+    cold_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    warm = run_campaign("Proteus", "QE", warm_start_ops=30, **sizing)
+    warm_s = time.perf_counter() - start
+
+    print(f"  faults[cold]  {cold_s:8.2f}s  "
+          f"{cold.crashes} cases -> {'PASS' if cold.passed else 'FAIL'}")
+    print(f"  faults[warm]  {warm_s:8.2f}s  "
+          f"{warm.crashes} cases from {warm.warm_start_ops} warm ops "
+          f"@cycle {warm.warm_checkpoint_cycle} "
+          f"-> {'PASS' if warm.passed else 'FAIL'}")
+    if not (cold.passed and warm.passed):
+        print("warning: fault campaign comparison did not pass", file=sys.stderr)
+    return {
+        "scheme": "Proteus",
+        "workload": "QE",
+        "mode": sizing["mode"],
+        "crashes": sizing["crashes"],
+        "sim_ops": sizing["sim_ops"],
+        "warm_start_ops": warm.warm_start_ops,
+        "warm_checkpoint_cycle": warm.warm_checkpoint_cycle,
+        "cold_wall_time_s": round(cold_s, 3),
+        "warm_wall_time_s": round(warm_s, 3),
+        "cold_passed": cold.passed,
+        "warm_passed": warm.passed,
+    }
+
+
+def compare_sampling(threads: int, seed: int) -> dict:
+    """Time full detailed runs vs interval sampling on two workloads.
+
+    Records, per workload, the two wall times and the sampled estimates
+    (mean ± CI half-width) next to the full-run reference values.
+    """
+    from repro.core.schemes import Scheme
+    from repro.parallel.cellspec import CellSpec
+    from repro.sim.config import fast_nvm_config
+    from repro.snapshot import SamplingParams, run_sampled
+
+    params = SamplingParams(intervals=6, warmup_ops=20, measure_ops=30)
+    records = []
+    for workload in ("QE", "HM"):
+        cell = CellSpec(
+            workload=workload,
+            scheme=Scheme.PROTEUS,
+            config=fast_nvm_config(cores=threads),
+            threads=threads,
+            seed=seed,
+            init_ops=1000,
+            sim_ops=600,
+        )
+        start = time.perf_counter()
+        full = cell.simulate()
+        full_s = time.perf_counter() - start
+
+        start = time.perf_counter()
+        report = run_sampled(cell, params, strict=False)
+        sampled_s = time.perf_counter() - start
+
+        full_ipc = (
+            full.stats.counters["retired_instructions"] / full.cycles
+        )
+        ipc = report.estimates["ipc"]
+        rel_err = abs(ipc.mean - full_ipc) / full_ipc
+        entry = {
+            "workload": workload,
+            "sim_ops": cell.sim_ops,
+            "detailed_ops": report.detailed_ops,
+            "full_wall_time_s": round(full_s, 3),
+            "sampled_wall_time_s": round(sampled_s, 3),
+            "full_ipc": round(full_ipc, 4),
+            "sampled_ipc": round(ipc.mean, 4),
+            "ipc_ci_half_width": round(ipc.ci_half_width, 4),
+            "ipc_rel_error": round(rel_err, 4),
+        }
+        log_writes = full.stats.counters.get("nvm.write.log", 0)
+        admitted = full.stats.counters.get("lpq.admitted", 0)
+        if admitted and "log_write_drop" in report.estimates:
+            drop = report.estimates["log_write_drop"]
+            entry["full_log_write_drop"] = round(1.0 - log_writes / admitted, 4)
+            entry["sampled_log_write_drop"] = round(drop.mean, 4)
+            entry["log_write_drop_ci_half_width"] = round(drop.ci_half_width, 4)
+        records.append(entry)
+        print(f"  sampling[{workload}]  full {full_s:7.2f}s  "
+              f"sampled {sampled_s:7.2f}s  ipc err {rel_err:.2%} "
+              f"(±{ipc.rel_ci:.2%} CI)")
+    return {"params": params.to_dict(), "workloads": records}
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_results.json"))
@@ -184,6 +298,12 @@ def main(argv=None) -> int:
     parser.add_argument("--compare-runner", action="store_true",
                         help="also time serial vs parallel vs warm-cache "
                              "on one evaluation sweep")
+    parser.add_argument("--compare-faults", action="store_true",
+                        help="also time one crash campaign cold vs "
+                             "warm-checkpointed")
+    parser.add_argument("--compare-sampling", action="store_true",
+                        help="also time full vs sampled simulation on "
+                             "two workloads")
     args = parser.parse_args(argv)
 
     from repro.parallel import configure_default_runner
@@ -200,6 +320,12 @@ def main(argv=None) -> int:
             args.threads, args.scale, args.seed,
             jobs=args.jobs if args.jobs and args.jobs > 1 else 4,
         )
+    faults_comparison = None
+    if args.compare_faults:
+        faults_comparison = compare_faults(args.seed)
+    sampling_comparison = None
+    if args.compare_sampling:
+        sampling_comparison = compare_sampling(1, args.seed)
     start = time.perf_counter()
     figures = run_figures(args.threads, args.scale, args.seed, args.figures)
     total = time.perf_counter() - start
@@ -227,6 +353,10 @@ def main(argv=None) -> int:
     }
     if comparison is not None:
         record["runner_comparison"] = comparison
+    if faults_comparison is not None:
+        record["faults_comparison"] = faults_comparison
+    if sampling_comparison is not None:
+        record["sampling_comparison"] = sampling_comparison
     doc["runs"].append(record)
     out.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
     print(f"wrote {out} ({len(doc['runs'])} run"

@@ -17,6 +17,12 @@ Subcommands:
   summary with per-transaction critical-path attribution.
 * ``profile`` — trace the scheme×workload matrix and print the
   bottleneck-attribution report (where blocked cycles go, per scheme).
+* ``snapshot`` — deterministic machine checkpoints and sampled
+  simulation: ``create`` (simulate or fast-forward to an offset and
+  store/write the checkpoint), ``inspect`` (print its metadata),
+  ``resume`` (run the continuation to completion), and ``sample``
+  (SMARTS-style interval sampling with per-metric confidence
+  intervals; exits 1 when a CI exceeds the threshold).
 
 Examples::
 
@@ -30,6 +36,11 @@ Examples::
     python -m repro lint --scheme pmem --workload btree --json
     python -m repro trace --scheme proteus --workload hashmap --out trace.json
     python -m repro profile --scheme all --workload all --scale 0.1
+    python -m repro snapshot create --workload QE --offset 20 --out qe.ckpt.json
+    python -m repro snapshot inspect --in qe.ckpt.json
+    python -m repro snapshot resume --in qe.ckpt.json
+    python -m repro snapshot sample --workload HM --ops 200 --intervals 7
+    python -m repro faults --scheme proteus --workload queue --warm-start 6
 
 Scheme and workload names are forgiving: ``sw``/``pmem``, ``atom``,
 ``proteus``, ``btree``/``BT``, ``queue``/``QE``, … — an unknown name
@@ -209,6 +220,7 @@ def cmd_faults(args) -> int:
         init_ops=args.init,
         sim_ops=args.ops,
         think_instructions=args.think,
+        warm_start_ops=args.warm_start,
     )
     report = result.report()
     if args.out:
@@ -220,6 +232,130 @@ def cmd_faults(args) -> int:
         if not args.verbose:
             print(line)
     return 0 if result.passed else 1
+
+
+def _cellspec(args):
+    from repro.parallel.cellspec import CellSpec
+
+    return CellSpec(
+        workload=_workload_cls(args).name,
+        scheme=Scheme.parse(args.scheme),
+        config=_config(args),
+        threads=args.threads,
+        seed=args.seed,
+        init_ops=args.init,
+        sim_ops=args.ops,
+    )
+
+
+def _checkpoint_store(args):
+    from repro.parallel.cache import ResultCache, default_cache_dir
+    from repro.snapshot import CheckpointStore
+
+    if args.no_cache:
+        return None
+    return CheckpointStore(ResultCache(args.cache_dir or default_cache_dir()))
+
+
+def _snapshot_sample(args) -> int:
+    from repro.parallel.cache import ResultCache, default_cache_dir
+    from repro.parallel.runner import SweepRunner
+    from repro.snapshot import SamplingError, SamplingParams
+
+    cache = None if args.no_cache else ResultCache(
+        args.cache_dir or default_cache_dir()
+    )
+    runner = SweepRunner(jobs=1, cache=cache)
+    cell = _cellspec(args)
+    params = SamplingParams(
+        intervals=args.intervals,
+        warmup_ops=args.warmup,
+        measure_ops=args.measure,
+        confidence=args.confidence,
+        max_rel_ci=args.max_rel_ci,
+    )
+    try:
+        report = runner.run_sampled([cell], params, strict=not args.lenient)[0]
+    except SamplingError as err:
+        print(f"refused: {err}", file=sys.stderr)
+        return 1
+    full_ops = cell.sim_ops * max(1, cell.threads)
+    print(f"{cell.workload} under {cell.scheme} sampled at "
+          f"{len(report.offsets)} interval(s): "
+          f"{report.detailed_ops}/{full_ops} ops simulated in detail")
+    for name, estimate in sorted(report.estimates.items()):
+        print(f"  {name:20s} {estimate.mean:10.4f} "
+              f"± {estimate.ci_half_width:.4f} "
+              f"({estimate.rel_ci:.2%} at {params.confidence:.0%} confidence)")
+    print(runner.describe())
+    return 0
+
+
+def cmd_snapshot(args) -> int:
+    import json
+
+    from repro.snapshot import (
+        SNAPSHOT_SCHEMA_VERSION,
+        checkpoint_to_payload,
+        create_checkpoint,
+        payload_to_checkpoint,
+        resume_run,
+        snapshot_digest,
+    )
+
+    if args.action == "sample":
+        return _snapshot_sample(args)
+
+    if args.action in ("inspect", "resume") and args.infile:
+        with open(args.infile) as handle:
+            checkpoint = payload_to_checkpoint(json.load(handle))
+    else:
+        cell = _cellspec(args)
+        store = _checkpoint_store(args)
+        if store is None:
+            checkpoint = create_checkpoint(cell, args.offset, kind=args.kind)
+        else:
+            checkpoint = store.get_or_create(cell, args.offset, kind=args.kind)
+
+    machine = checkpoint.machine
+    if args.action == "create":
+        print(f"{checkpoint.cell.workload} under {machine.scheme} "
+              f"checkpointed at {checkpoint.op_offset}/{checkpoint.cell.sim_ops} "
+              f"measured ops ({checkpoint.kind}), cycle {machine.cycle:,}")
+        print(f"  digest: {snapshot_digest(machine)}")
+        if not args.no_cache:
+            print(f"  {store.describe()}")
+        if args.out:
+            with open(args.out, "w") as handle:
+                json.dump(checkpoint_to_payload(checkpoint), handle,
+                          sort_keys=True)
+                handle.write("\n")
+            print(f"wrote {args.out}")
+        return 0
+
+    if args.action == "inspect":
+        cell = checkpoint.cell
+        print(f"checkpoint ({checkpoint.kind}) — snapshot schema "
+              f"v{SNAPSHOT_SCHEMA_VERSION}")
+        print(f"  cell:     {cell.workload} x {machine.scheme} "
+              f"({cell.threads} thread(s), seed {cell.seed}, "
+              f"init {cell.init_ops}, sim {cell.sim_ops})")
+        print(f"  offset:   {checkpoint.op_offset} ops "
+              f"({checkpoint.remaining_ops} remaining)")
+        print(f"  cycle:    {machine.cycle:,}")
+        print(f"  counters: {len(machine.counters)} "
+              f"({sum(machine.counters.values()):,} events)")
+        print(f"  digest:   {snapshot_digest(machine)}")
+        return 0
+
+    result = resume_run(checkpoint)
+    print(f"resumed {checkpoint.cell.workload} under {machine.scheme} from "
+          f"op {checkpoint.op_offset} ({checkpoint.kind} checkpoint):")
+    print(f"  cycles:       {result.cycles:,} (from {machine.cycle:,})")
+    print(f"  instructions: {result.stats.instructions():,}")
+    print(f"  IPC:          {result.ipc:.2f}")
+    print(f"  NVM writes:   {result.nvm_writes:,}")
+    return 0
 
 
 def cmd_lint(args) -> int:
@@ -416,7 +552,67 @@ def build_parser() -> argparse.ArgumentParser:
         help="record a pre-crash event ring buffer and attach the "
              "trailing CYCLES of events to every crash capture",
     )
+    faults_parser.add_argument(
+        "--warm-start", type=int, default=0, metavar="OPS",
+        help="simulate OPS transactions once, checkpoint the quiesced "
+             "machine, and launch every crash case from that warm state",
+    )
     faults_parser.set_defaults(func=cmd_faults)
+
+    snapshot_parser = subparsers.add_parser(
+        "snapshot",
+        help="machine checkpoints (create/inspect/resume) and sampled runs",
+    )
+    snapshot_parser.add_argument(
+        "action", choices=["create", "inspect", "resume", "sample"]
+    )
+    _add_workload_args(snapshot_parser)
+    snapshot_parser.add_argument("--scheme", default="Proteus")
+    snapshot_parser.add_argument(
+        "--offset", type=int, default=0, metavar="OPS",
+        help="measured-op offset of the checkpoint (create/inspect/resume)",
+    )
+    snapshot_parser.add_argument(
+        "--kind", default="detailed", choices=["detailed", "functional"],
+        help="checkpoint fidelity: simulate the prefix (detailed) or "
+             "fast-forward it functionally",
+    )
+    snapshot_parser.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="also write the checkpoint JSON here (create)",
+    )
+    snapshot_parser.add_argument(
+        "--in", dest="infile", default=None, metavar="FILE",
+        help="read the checkpoint JSON from here (inspect/resume)",
+    )
+    snapshot_parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="checkpoint store location (default: REPRO_CACHE_DIR or "
+             ".repro-cache)",
+    )
+    snapshot_parser.add_argument(
+        "--no-cache", action="store_true",
+        help="build checkpoints in memory only, skip the store",
+    )
+    snapshot_parser.add_argument("--intervals", type=int, default=5,
+                                 help="sampling intervals (sample)")
+    snapshot_parser.add_argument("--warmup", type=int, default=10,
+                                 help="detailed warmup ops per interval")
+    snapshot_parser.add_argument("--measure", type=int, default=20,
+                                 help="detailed measured ops per interval")
+    snapshot_parser.add_argument(
+        "--confidence", type=float, default=0.95,
+        help="confidence level for the per-metric intervals",
+    )
+    snapshot_parser.add_argument(
+        "--max-rel-ci", type=float, default=0.02,
+        help="refuse the report when a relative CI half-width exceeds this",
+    )
+    snapshot_parser.add_argument(
+        "--lenient", action="store_true",
+        help="report estimates even when a CI exceeds the threshold",
+    )
+    snapshot_parser.set_defaults(func=cmd_snapshot)
 
     lint_parser = subparsers.add_parser(
         "lint",

@@ -115,6 +115,45 @@ class CodeGenerator:
 
     # -- public API -------------------------------------------------------------
 
+    @property
+    def sw_log_cursor(self) -> int:
+        """The next software-log slot address (circular)."""
+        return self._sw_log_cursor
+
+    @sw_log_cursor.setter
+    def sw_log_cursor(self, value: int) -> None:
+        base = self.layout.sw_log_base
+        end = base + self.layout.sw_log_size
+        if not base <= value <= end - SW_LOG_BYTES_PER_LINE:
+            raise ValueError(
+                f"software log cursor {value:#x} outside log area "
+                f"[{base:#x}, {end:#x})"
+            )
+        if (value - base) % SW_LOG_BYTES_PER_LINE:
+            raise ValueError(
+                f"software log cursor {value:#x} is not slot aligned"
+            )
+        self._sw_log_cursor = value
+
+    def advance_over(self, tx: TxRecord) -> None:
+        """Advance the circular log cursor as if ``tx`` had been lowered.
+
+        Used by the snapshot fast-forward path to compute the cursor a
+        skipped trace prefix would leave behind, without emitting any
+        instructions.  Mirrors :meth:`_lower_software` exactly: one slot
+        per *unique* candidate line (overlapping candidate ranges are
+        deduplicated).  Non-software schemes consume no slots.
+        """
+        if self.scheme not in (Scheme.PMEM, Scheme.PMEM_PCOMMIT):
+            return
+        copied: set = set()
+        for base, size in tx.log_candidates:
+            for line in expand_lines(base, size):
+                if line in copied:
+                    continue
+                copied.add(line)
+                self._alloc_sw_log_slot()
+
     def lower_trace(self, op_trace: OpTrace) -> InstructionTrace:
         """Lower a whole per-thread trace."""
         out = InstructionTrace(thread_id=op_trace.thread_id)

@@ -89,6 +89,38 @@ class LogLookupTable:
         """Valid entries currently held."""
         return sum(len(llt_set) for llt_set in self._sets)
 
+    # -- checkpoint support ------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Serializable table contents: per-set block lists in LRU order.
+
+        Normally empty at a quiescent point (the table flash clears at
+        ``tx-end``), but captured anyway so a restore is exact even if
+        that invariant ever changes.
+        """
+        return {"sets": [list(llt_set) for llt_set in self._sets]}
+
+    def load_state(self, state: dict) -> None:
+        """Rebuild table contents from :meth:`state_dict` output."""
+        sets_state = state["sets"]
+        if len(sets_state) != self.num_sets:
+            raise ValueError(
+                f"snapshot has {len(sets_state)} LLT sets, table has "
+                f"{self.num_sets}"
+            )
+        rebuilt: List["OrderedDict[int, None]"] = []
+        for index, blocks in enumerate(sets_state):
+            if len(blocks) > self.ways:
+                raise ValueError(
+                    f"snapshot LLT set {index} holds {len(blocks)} blocks, "
+                    f"table has {self.ways} ways"
+                )
+            llt_set: "OrderedDict[int, None]" = OrderedDict()
+            for block in blocks:
+                llt_set[int(block)] = None
+            rebuilt.append(llt_set)
+        self._sets = rebuilt
+
     def storage_bits(self) -> int:
         """Approximate storage cost in bits (paper: ~410 bytes for 64 entries).
 

@@ -106,3 +106,31 @@ class LogArea:
         """LTA register state for a crash capture: the cur-log cursor and
         the in-flight transaction's allocation count."""
         return {"cur": self.cur, "tx_entries": self._tx_entries}
+
+    # -- checkpoint support ------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Serializable register state; only valid between transactions."""
+        if self._tx_start is not None:
+            raise RuntimeError(
+                "cannot serialize a log area mid-transaction "
+                f"(thread {self.thread_id})"
+            )
+        return {"cur": self.cur}
+
+    def load_state(self, state: dict) -> None:
+        """Restore the cur-log register from :meth:`state_dict` output."""
+        self.set_cursor(int(state["cur"]))
+
+    def set_cursor(self, cur: int) -> None:
+        """Position the cur-log (LTA) register; validates range/alignment."""
+        if not self.base <= cur < self.end:
+            raise ValueError(
+                f"cur-log {cur:#x} outside log area "
+                f"[{self.base:#x}, {self.end:#x})"
+            )
+        if (cur - self.base) % LOG_ENTRY_BYTES:
+            raise ValueError(f"cur-log {cur:#x} is not entry aligned")
+        self.cur = cur
+        self._tx_start = None
+        self._tx_entries = 0

@@ -95,6 +95,11 @@ class CampaignResult:
     baseline_cycles: int
     trigger_counts: Dict[str, int]
     cases: List[CrashCaseResult] = field(default_factory=list)
+    #: measured ops fast-forwarded into a warm checkpoint before the
+    #: crash window (0 = cold campaign, every case simulates from reset).
+    warm_start_ops: int = 0
+    #: clock at the warm checkpoint (crash cycles are drawn above it).
+    warm_checkpoint_cycle: int = 0
 
     @property
     def crashes(self) -> int:
@@ -121,9 +126,15 @@ class CampaignResult:
 
     def report(self) -> str:
         """Deterministic text report (no timestamps, no absolute paths)."""
+        warm = (
+            f" warm-start={self.warm_start_ops}ops"
+            f"@{self.warm_checkpoint_cycle}cyc"
+            if self.warm_start_ops
+            else ""
+        )
         lines = [
             f"fault campaign: scheme={self.scheme} workload={self.workload} "
-            f"mode={self.mode} seed={self.seed} threads={self.threads}",
+            f"mode={self.mode} seed={self.seed} threads={self.threads}{warm}",
             f"baseline: {self.baseline_cycles} cycles, triggers "
             + " ".join(
                 f"{kind}={count}" for kind, count in sorted(self.trigger_counts.items())
@@ -153,20 +164,26 @@ class CampaignResult:
 
 
 def _make_trigger(rng: random.Random, index: int, total_cycles: int,
-                  counts: Dict[str, int], mode: str) -> Trigger:
+                  counts: Dict[str, int], mode: str,
+                  cycle_floor: int = 0) -> Trigger:
     """Interleave named microarchitectural triggers (when the baseline
     produced any) with uniform crash cycles.
 
     The admission-drop modes detect only inside partial-durability
     windows — between the WPQ admissions of one commit burst — so they
     crash at named triggers every other case; the others every fourth.
+    ``cycle_floor`` keeps warm-checkpoint campaigns from drawing crash
+    cycles inside the already-simulated prefix.
     """
     named = [kind for kind, count in sorted(counts.items()) if count > 0]
     named_every = 2 if mode in ("drop-log", "drop-flag") else 4
     if named and index % named_every == named_every - 1:
         kind = named[(index // named_every) % len(named)]
         return Trigger(kind, rng.randrange(1, counts[kind] + 1))
-    return Trigger("cycle", rng.randrange(1, max(2, total_cycles)))
+    return Trigger(
+        "cycle",
+        rng.randrange(cycle_floor + 1, max(cycle_floor + 2, total_cycles)),
+    )
 
 
 def _pick_drains(rng: random.Random, data_drains: int, how_many: int) -> frozenset:
@@ -237,6 +254,7 @@ def run_campaign(
     config: Optional[SystemConfig] = None,
     max_cycles: int = 500_000_000,
     trace_tail: int = 0,
+    warm_start_ops: int = 0,
     **workload_kwargs,
 ) -> CampaignResult:
     """Sweep ``crashes`` planned crash points over one workload run.
@@ -245,6 +263,14 @@ def run_campaign(
     keeps the last ``trace_tail`` cycles of events in each crash's
     :class:`~repro.faults.harness.MachineState`; the report prints the
     pre-crash timeline for every inconsistent case.
+
+    ``warm_start_ops`` > 0 simulates that many measured ops *once*,
+    snapshots the machine at the drained boundary, and launches every
+    crash case from the restored snapshot — wall time per case covers
+    only the crash window, not the prefix.  Crash cycles are drawn above
+    the checkpoint cycle.  Sound because every scheme flushes written
+    lines before transaction end, so the checkpoint's durable image
+    equals its functional golden image.
     """
     scheme = Scheme.parse(scheme)
     if not scheme.failure_safe:
@@ -260,17 +286,49 @@ def run_campaign(
     if config is None:
         config = fast_nvm_config(cores=max(1, threads))
 
-    traces = generate_traces(
-        workload_cls, threads=threads, seed=seed, **workload_kwargs
-    )
-    models = {
-        trace.thread_id: ThreadFunctional(trace, scheme) for trace in traces
-    }
+    snapshot = None
+    if warm_start_ops:
+        from repro.sim.simulator import Simulator
+        from repro.snapshot.state import capture_machine
+
+        workloads = [
+            workload_cls(thread_id=thread_id, seed=seed, **workload_kwargs)
+            for thread_id in range(threads)
+        ]
+        if not 0 < warm_start_ops < workloads[0].sim_ops:
+            raise ValueError(
+                f"warm_start_ops must fall inside (0, {workloads[0].sim_ops}) "
+                f"measured ops, got {warm_start_ops}"
+            )
+        prefix = [w.generate_segment(warm_start_ops) for w in workloads]
+        presim = Simulator(config, scheme, prefix)
+        presim.run(max_cycles=max_cycles)
+        snapshot = capture_machine(
+            presim, {w.thread_id: w.cursor() for w in workloads}
+        )
+        traces = [
+            w.generate_segment(w.sim_ops - warm_start_ops) for w in workloads
+        ]
+        models = {
+            trace.thread_id: ThreadFunctional(
+                trace,
+                scheme,
+                sw_log_cursor=snapshot.sw_log_cursors.get(trace.thread_id),
+            )
+            for trace in traces
+        }
+    else:
+        traces = generate_traces(
+            workload_cls, threads=threads, seed=seed, **workload_kwargs
+        )
+        models = {
+            trace.thread_id: ThreadFunctional(trace, scheme) for trace in traces
+        }
 
     # Clean census run: must complete and recover to the final image.
     baseline = run_crash_case(
         scheme, traces, models, FaultPlan(seed=seed), config=config,
-        max_cycles=max_cycles,
+        max_cycles=max_cycles, base_snapshot=snapshot,
     )
     if baseline.outcome != "completed":
         raise RuntimeError(
@@ -286,6 +344,7 @@ def run_campaign(
     rng = random.Random(
         f"faults:{scheme.value}:{workload_cls.name}:{mode}:{seed}:{threads}"
     )
+    cycle_floor = snapshot.cycle if snapshot is not None else 0
     result = CampaignResult(
         scheme=scheme,
         workload=workload_cls.name,
@@ -294,9 +353,13 @@ def run_campaign(
         threads=threads,
         baseline_cycles=total_cycles,
         trigger_counts=dict(counts),
+        warm_start_ops=warm_start_ops,
+        warm_checkpoint_cycle=cycle_floor,
     )
     for index in range(crashes):
-        trigger = _make_trigger(rng, index, total_cycles, counts, mode)
+        trigger = _make_trigger(
+            rng, index, total_cycles, counts, mode, cycle_floor=cycle_floor
+        )
         plan = _make_plan(
             mode, rng, trigger, data_drains, config.memory.banks, total_cycles
         )
@@ -317,6 +380,7 @@ def run_campaign(
                 max_cycles=max_cycles,
                 tracer=tracer,
                 trace_tail_cycles=trace_tail,
+                base_snapshot=snapshot,
             )
         )
     return result

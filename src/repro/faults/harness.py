@@ -298,12 +298,19 @@ def run_crash_case(
     max_cycles: int = 500_000_000,
     tracer: Optional[Tracer] = None,
     trace_tail_cycles: int = 0,
+    base_snapshot=None,
 ) -> CrashCaseResult:
     """Simulate one fault plan and verify recovery from the wreckage.
 
     Pass a (typically ring-buffered) ``tracer`` plus ``trace_tail_cycles``
     to capture the last N cycles of trace events alongside the machine
     snapshot — the flight recorder for diagnosing an inconsistent case.
+
+    ``base_snapshot`` (a :class:`~repro.snapshot.format.MachineSnapshot`)
+    launches the case from a warm checkpoint instead of a cold machine:
+    ``op_traces`` must then be the continuation traces and ``models``
+    must be built over them (warm campaigns capture the prefix once and
+    restore it per case, instead of re-simulating it ``crashes`` times).
     """
     from repro.sim.simulator import Simulator
 
@@ -311,7 +318,16 @@ def run_crash_case(
         config = fast_nvm_config(cores=max(1, len(op_traces)))
     tracker = DurabilityTracker(models)
     injector = FaultInjector(plan, tracker)
-    sim = Simulator(config, scheme, op_traces, fault_injector=injector, tracer=tracer)
+    if base_snapshot is not None:
+        from repro.snapshot.state import restore_machine
+
+        sim = restore_machine(
+            base_snapshot, op_traces, tracer=tracer, fault_injector=injector
+        )
+    else:
+        sim = Simulator(
+            config, scheme, op_traces, fault_injector=injector, tracer=tracer
+        )
     try:
         sim.run(max_cycles=max_cycles)
         crashed = False

@@ -54,10 +54,19 @@ class ThreadFunctional:
     (mirroring the code generator's circular slot cursor).
     """
 
-    def __init__(self, op_trace: OpTrace, scheme: Scheme) -> None:
+    def __init__(
+        self,
+        op_trace: OpTrace,
+        scheme: Scheme,
+        sw_log_cursor: Optional[int] = None,
+    ) -> None:
+        """``sw_log_cursor`` positions the software-log slot cursor for a
+        trace that continues a checkpointed run (the prefix consumed
+        slots); ``None`` starts at the log base."""
         self.thread_id = op_trace.thread_id
         self.scheme = scheme
         self.space = ThreadAddressSpace(op_trace.thread_id)
+        self.sw_log_cursor = sw_log_cursor
         self.initial, self.txs = build_functional_txs(op_trace, scheme)
         self.tx_index: Dict[int, int] = {
             tx.txid: index for index, tx in enumerate(self.txs)
@@ -92,7 +101,11 @@ class ThreadFunctional:
         occurrence per line.  Duplicate copies therefore map to ``None``.
         """
         space = self.space
-        cursor = space.sw_log_base
+        cursor = (
+            self.sw_log_cursor
+            if self.sw_log_cursor is not None
+            else space.sw_log_base
+        )
         end = space.sw_log_base + space.sw_log_size
         for tx in op_trace.transactions():
             logged: Dict[int, int] = {}

@@ -98,6 +98,50 @@ class Cache:
         cache_set = self._set_for(line_addr)
         return cache_set.pop(line_addr, None)
 
+    # -- checkpoint support ------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Serializable residency state: per-set ``[addr, dirty]`` pairs in
+        recency order (first = LRU, last = MRU), exactly the OrderedDict
+        insertion order replacement relies on."""
+        return {
+            "sets": [
+                [[line.addr, 1 if line.dirty else 0] for line in cache_set.values()]
+                for cache_set in self.sets
+            ]
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Rebuild residency from :meth:`state_dict` output.
+
+        Raises ``ValueError`` when the serialized geometry does not match
+        this cache's configuration (a stale snapshot must not restore).
+        """
+        sets_state = state["sets"]
+        if len(sets_state) != self.config.sets:
+            raise ValueError(
+                f"{self.name}: snapshot has {len(sets_state)} sets, "
+                f"cache has {self.config.sets}"
+            )
+        rebuilt: List["OrderedDict[int, CacheLine]"] = []
+        for index, entries in enumerate(sets_state):
+            if len(entries) > self.config.ways:
+                raise ValueError(
+                    f"{self.name}: snapshot set {index} holds {len(entries)} "
+                    f"lines, cache has {self.config.ways} ways"
+                )
+            cache_set: "OrderedDict[int, CacheLine]" = OrderedDict()
+            for addr, dirty in entries:
+                line_addr = int(addr)
+                if (line_addr // self.config.line_bytes) % self.config.sets != index:
+                    raise ValueError(
+                        f"{self.name}: line {line_addr:#x} does not map to "
+                        f"snapshot set {index}"
+                    )
+                cache_set[line_addr] = CacheLine(line_addr, bool(dirty))
+            rebuilt.append(cache_set)
+        self.sets = rebuilt
+
     def resident_lines(self) -> int:
         """Total lines currently resident (for tests and occupancy stats)."""
         return sum(len(cache_set) for cache_set in self.sets)

@@ -81,6 +81,30 @@ class CacheHierarchy:
         of the initialization phase's footprint."""
         self._install(core, line_addr & ~63, dirty=False)
 
+    # -- checkpoint support ------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Serializable contents of every cache in the hierarchy."""
+        return {
+            "l1": [cache.state_dict() for cache in self.l1],
+            "l2": [cache.state_dict() for cache in self.l2],
+            "l3": self.l3.state_dict(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore every cache from :meth:`state_dict` output."""
+        l1_state, l2_state = state["l1"], state["l2"]
+        if len(l1_state) != len(self.l1) or len(l2_state) != len(self.l2):
+            raise ValueError(
+                f"snapshot has {len(l1_state)} L1 / {len(l2_state)} L2 "
+                f"caches, hierarchy has {len(self.l1)} / {len(self.l2)}"
+            )
+        for cache, cache_state in zip(self.l1, l1_state):
+            cache.load_state(cache_state)
+        for cache, cache_state in zip(self.l2, l2_state):
+            cache.load_state(cache_state)
+        self.l3.load_state(state["l3"])
+
     # -- access paths -------------------------------------------------------------
 
     def access(

@@ -75,8 +75,14 @@ class MemoryController:
         self.log_write_removal = log_write_removal
 
     def register_log_region(self, base: int, size: int) -> None:
-        """Classify writebacks to ``[base, base+size)`` as software log traffic."""
-        self._log_regions.append((base, base + size))
+        """Classify writebacks to ``[base, base+size)`` as software log traffic.
+
+        Idempotent: re-registering the same region (segmented runs rebuild
+        cores against the same controller) is a no-op.
+        """
+        region = (base, base + size)
+        if region not in self._log_regions:
+            self._log_regions.append(region)
 
     def _classify(self, addr: int, category: str) -> str:
         if category == "data":
@@ -264,6 +270,40 @@ class MemoryController:
             self.engine.schedule(0, callback)
         else:
             self._drain_waiters.append(callback)
+
+    # -- checkpoint support ------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Serializable controller-side state (queues + device).
+
+        Only valid at a quiescent point: in-flight dispatches and pcommit
+        waiters hold live callbacks that cannot be serialized.
+        """
+        if self._writes_in_device or self._writes_retrying:
+            raise RuntimeError("cannot serialize with writes in flight")
+        if self._drain_waiters:
+            raise RuntimeError("cannot serialize with pcommit waiters pending")
+        return {
+            "wpq": self.wpq.state_dict(),
+            "lpq": self.lpq.state_dict() if self.lpq is not None else None,
+            "nvm": self.device.state_dict(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore queue and device state from :meth:`state_dict` output."""
+        lpq_state = state["lpq"]
+        if (lpq_state is None) != (self.lpq is None):
+            raise ValueError(
+                "snapshot LPQ presence does not match this controller's "
+                "configuration"
+            )
+        self.wpq.load_state(state["wpq"])
+        if self.lpq is not None and lpq_state is not None:
+            self.lpq.load_state(lpq_state)
+        self.device.load_state(state["nvm"])
+        self._writes_in_device = 0
+        self._writes_retrying = 0
+        self._drain_waiters = []
 
     # -- drain pumps -----------------------------------------------------------------
 

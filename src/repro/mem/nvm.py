@@ -118,6 +118,34 @@ class NvmDevice:
         """True when no bank has queued or in-flight work."""
         return self.outstanding() == 0
 
+    # -- checkpoint support ------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Serializable device state: each bank's open row.
+
+        Only valid at a quiescent point — queued requests carry live
+        completion callbacks and cannot be serialized.
+        """
+        if not self.is_idle():
+            raise RuntimeError(
+                f"cannot serialize NVM device with {self.outstanding()} "
+                f"outstanding requests"
+            )
+        return {"open_rows": [bank.open_row for bank in self._banks]}
+
+    def load_state(self, state: dict) -> None:
+        """Restore per-bank open rows from :meth:`state_dict` output."""
+        open_rows = state["open_rows"]
+        if len(open_rows) != len(self._banks):
+            raise ValueError(
+                f"snapshot has {len(open_rows)} banks, device has "
+                f"{len(self._banks)}"
+            )
+        for bank, open_row in zip(self._banks, open_rows):
+            bank.open_row = int(open_row)
+            bank.queue = []
+            bank.busy = False
+
     def notify_when_drained(self, callback: Callable[[], None]) -> None:
         """Invoke ``callback`` once every queued request has completed.
 

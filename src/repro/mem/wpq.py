@@ -133,6 +133,58 @@ class PendingQueue:
         """True when a pending write to ``line_addr`` is held (WPQ read hit)."""
         return any(entry.addr == line_addr for entry in self.entries)
 
+    # -- checkpoint support ------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Serializable queue state (entries + serial counter).
+
+        Only valid at a quiescent point: admission-blocked entries carry
+        live acceptance callbacks that cannot be serialized.
+        """
+        if self._admission:
+            raise RuntimeError(
+                f"{self.name}: cannot serialize with "
+                f"{len(self._admission)} admission-blocked entries"
+            )
+        return {
+            "next_serial": self._next_serial,
+            "entries": [
+                [
+                    entry.addr,
+                    entry.category,
+                    entry.txid,
+                    entry.thread_id,
+                    1 if entry.sticky else 0,
+                    entry.serial,
+                ]
+                for entry in self.entries
+            ],
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Rebuild queue contents from :meth:`state_dict` output."""
+        entries_state = state["entries"]
+        if len(entries_state) > self.capacity:
+            raise ValueError(
+                f"{self.name}: snapshot holds {len(entries_state)} entries, "
+                f"queue capacity is {self.capacity}"
+            )
+        rebuilt: List[QueueEntry] = []
+        for addr, category, txid, thread_id, sticky, serial in entries_state:
+            rebuilt.append(
+                QueueEntry(
+                    int(addr),
+                    category=str(category),
+                    txid=int(txid),
+                    thread_id=int(thread_id),
+                    sticky=bool(sticky),
+                    serial=int(serial),
+                )
+            )
+        self.entries = rebuilt
+        self._admission = []
+        self._next_serial = int(state["next_serial"])
+
     # -- drain / clear ----------------------------------------------------------
 
     def pop_for_drain(self, skip_sticky: bool = False) -> Optional[QueueEntry]:

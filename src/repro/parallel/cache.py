@@ -114,6 +114,46 @@ class ResultCache:
             return
         self.stores += 1
 
+    # -- raw blob storage --------------------------------------------------
+    #
+    # Pure-IO helpers for other content-addressed artifact kinds (the
+    # checkpoint store layers its own hit/miss accounting on top).  Blobs
+    # share the two-level fan-out but carry a distinguishing suffix so a
+    # result payload can never be confused for a checkpoint.
+
+    def blob_path(self, digest: str, kind: str) -> Path:
+        """On-disk location of a non-result artifact."""
+        return self.root / digest[:2] / f"{digest}.{kind}.json"
+
+    def load_blob(self, digest: str, kind: str) -> Optional[str]:
+        """Return the blob's text, or ``None`` when absent/unreadable."""
+        try:
+            return self.blob_path(digest, kind).read_text()
+        except OSError:
+            return None
+
+    def store_blob(self, digest: str, kind: str, payload: str) -> bool:
+        """Persist a blob atomically; returns False on (non-fatal) IO error."""
+        path = self.blob_path(digest, kind)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                dir=str(path.parent), prefix=".tmp-", suffix=".json"
+            )
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    handle.write(payload)
+                os.replace(tmp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            return False
+        return True
+
     # -- reporting ---------------------------------------------------------
 
     def describe(self) -> str:

@@ -10,7 +10,7 @@ simulate.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.core.atom import AtomAdapter
 from repro.core.codegen import CodeGenerator
@@ -68,7 +68,19 @@ class Simulator:
         op_traces: Sequence[OpTrace],
         fault_injector=None,
         tracer: Optional[Tracer] = None,
+        warm: bool = True,
+        thread_state: Optional[Mapping[int, Mapping[str, int]]] = None,
     ) -> None:
+        """Build the machine and lower the given traces.
+
+        ``warm=False`` skips the cache-warming passes (software-log area
+        and per-trace ``warm_lines``) — the snapshot restore path imposes
+        exact cache contents instead.  ``thread_state`` optionally seeds
+        per-thread cursors before lowering, as
+        ``{thread_id: {"sw_log_cursor": ..., "log_area_cur": ...}}``;
+        both keys are optional.  The software-log cursor must be imposed
+        *before* lowering because lowering consumes slots.
+        """
         if len(op_traces) > config.cores:
             raise ValueError(
                 f"{len(op_traces)} traces but only {config.cores} cores"
@@ -95,8 +107,16 @@ class Simulator:
         self.hierarchy = CacheHierarchy(self.engine, config, self.memctrl, self.stats)
         self.cores: List[OooCore] = []
         self.traces: List[InstructionTrace] = []
+        #: per-thread code generators and hardware log areas; persistent
+        #: across segments so circular cursors continue instead of
+        #: resetting (the snapshot/segmented-run machinery relies on it).
+        self.codegens: Dict[int, CodeGenerator] = {}
+        self.log_areas: Dict[int, LogArea] = {}
+        self._thread_state: Dict[int, Mapping[str, int]] = (
+            dict(thread_state) if thread_state else {}
+        )
         for op_trace in op_traces:
-            self._build_core(op_trace)
+            self._build_core(op_trace, warm=warm)
         #: cycle at which every core finished (before the final controller
         #: drain); None until the run loop completes.
         self.core_finish_cycle: Optional[int] = None
@@ -109,49 +129,63 @@ class Simulator:
         if fault_injector is not None:
             fault_injector.attach(self)
 
-    def _build_core(self, op_trace: OpTrace) -> None:
+    def _build_core(self, op_trace: OpTrace, warm: bool = True) -> None:
         thread_id = op_trace.thread_id
         space = ThreadAddressSpace(thread_id)
         layout = space.layout()
-        generator = CodeGenerator(self.scheme, layout, thread_id)
+        generator = self.codegens.get(thread_id)
+        if generator is None:
+            generator = CodeGenerator(self.scheme, layout, thread_id)
+            seeded = self._thread_state.get(thread_id)
+            if seeded is not None and seeded.get("sw_log_cursor") is not None:
+                generator.sw_log_cursor = int(seeded["sw_log_cursor"])
+            self.codegens[thread_id] = generator
         trace = generator.lower_trace(op_trace)
         self.traces.append(trace)
 
         if self.scheme.is_software:
             self.memctrl.register_log_region(layout.sw_log_base, layout.sw_log_size)
             self.memctrl.register_log_region(layout.logflag_addr, 64)
-            # The circular software log wraps every few thousand
-            # transactions, so after the init fast-forward it is
-            # cache resident like the rest of the working set.
-            for line in range(layout.sw_log_base, layout.sw_log_base + layout.sw_log_size, 64):
-                self.hierarchy.warm(thread_id, line)
-            self.hierarchy.warm(thread_id, layout.logflag_addr)
+            if warm:
+                # The circular software log wraps every few thousand
+                # transactions, so after the init fast-forward it is
+                # cache resident like the rest of the working set.
+                for line in range(layout.sw_log_base, layout.sw_log_base + layout.sw_log_size, 64):
+                    self.hierarchy.warm(thread_id, line)
+                self.hierarchy.warm(thread_id, layout.logflag_addr)
 
         adapter = None
-        if self.scheme.is_sshl:
-            log_area = LogArea(layout.hw_log_base, layout.hw_log_size, thread_id)
-            adapter = ProteusAdapter(
-                self.engine,
-                self.config.proteus,
-                self.memctrl,
-                log_area,
-                self.stats,
-                thread_id,
-            )
-        elif self.scheme.is_hardware:
-            log_area = LogArea(layout.hw_log_base, layout.hw_log_size, thread_id)
-            adapter = AtomAdapter(
-                self.engine,
-                self.config.atom,
-                self.memctrl,
-                log_area,
-                self.stats,
-                thread_id,
-            )
+        if self.scheme.is_sshl or self.scheme.is_hardware:
+            log_area = self.log_areas.get(thread_id)
+            if log_area is None:
+                log_area = LogArea(layout.hw_log_base, layout.hw_log_size, thread_id)
+                seeded = self._thread_state.get(thread_id)
+                if seeded is not None and seeded.get("log_area_cur") is not None:
+                    log_area.set_cursor(int(seeded["log_area_cur"]))
+                self.log_areas[thread_id] = log_area
+            if self.scheme.is_sshl:
+                adapter = ProteusAdapter(
+                    self.engine,
+                    self.config.proteus,
+                    self.memctrl,
+                    log_area,
+                    self.stats,
+                    thread_id,
+                )
+            else:
+                adapter = AtomAdapter(
+                    self.engine,
+                    self.config.atom,
+                    self.memctrl,
+                    log_area,
+                    self.stats,
+                    thread_id,
+                )
         if adapter is not None:
             adapter.tracer = self.tracer
-        for line in op_trace.warm_lines:
-            self.hierarchy.warm(thread_id, line)
+        if warm:
+            for line in op_trace.warm_lines:
+                self.hierarchy.warm(thread_id, line)
 
         core = OooCore(
             core_id=thread_id,
@@ -165,6 +199,48 @@ class Simulator:
             tracer=self.tracer,
         )
         self.cores.append(core)
+
+    # -- segmented execution ---------------------------------------------------------
+
+    def quiescent(self) -> bool:
+        """True when the machine is at a drained quiescent point.
+
+        Every core finished, no events pending, nothing halted, and the
+        memory controller fully drained.  This is the only machine state
+        the snapshot subsystem can serialize exactly.
+        """
+        return (
+            all(core.finished() for core in self.cores)
+            and self.engine.pending_events() == 0
+            and not self.engine.halted
+            and self.memctrl.wpq.is_empty()
+            and not self.memctrl.drain_pending()
+            and self.memctrl.device.is_idle()
+        )
+
+    def load_segment(self, op_traces: Sequence[OpTrace]) -> None:
+        """Load another batch of traces into this (finished) machine.
+
+        The caches, queues, NVM bank state, stats, clock, log cursors and
+        code-generator cursors all carry over, so running the new segment
+        continues the previous run exactly.  Requires that :meth:`run`
+        completed and the machine is quiescent.
+        """
+        if self.core_finish_cycle is None:
+            raise RuntimeError("load_segment requires a completed run() first")
+        if not self.quiescent():
+            raise RuntimeError("cannot load a segment into a non-quiescent machine")
+        if len(op_traces) > self.config.cores:
+            raise ValueError(
+                f"{len(op_traces)} traces but only {self.config.cores} cores"
+            )
+        self.cores = []
+        self.traces = []
+        for op_trace in op_traces:
+            self._build_core(op_trace, warm=False)
+        self.core_finish_cycle = None
+        if self.fault_injector is not None:
+            self.fault_injector.attach(self)
 
     # -- the cycle loop -------------------------------------------------------------
 

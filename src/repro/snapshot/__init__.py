@@ -1,0 +1,87 @@
+"""Deterministic machine-state checkpointing and sampled simulation.
+
+Three layers:
+
+* :mod:`repro.snapshot.format` / :mod:`repro.snapshot.state` — exact,
+  versioned snapshot/restore of the full machine at drained quiescent
+  points (byte-identical continuation, held by tests);
+* :mod:`repro.snapshot.checkpoint` / :mod:`repro.snapshot.resume` —
+  content-addressed checkpoints (detailed or functionally
+  fast-forwarded) stored alongside cached results, plus resume;
+* :mod:`repro.snapshot.sampling` — SMARTS-style interval sampling with
+  per-metric confidence intervals that refuse to report when too wide.
+
+See ``docs/checkpointing.md`` for the determinism contract and the
+sampling-error methodology.
+"""
+
+from repro.snapshot.checkpoint import (
+    CHECKPOINT_KINDS,
+    Checkpoint,
+    CheckpointStore,
+    checkpoint_key,
+    checkpoint_to_payload,
+    create_checkpoint,
+    payload_to_checkpoint,
+    workloads_for,
+)
+from repro.snapshot.format import (
+    SNAPSHOT_SCHEMA_VERSION,
+    MachineSnapshot,
+    SnapshotError,
+    SnapshotFormatError,
+    SnapshotStateError,
+    load_snapshot,
+    payload_to_snapshot,
+    save_snapshot,
+    snapshot_bytes,
+    snapshot_digest,
+    snapshot_to_payload,
+)
+from repro.snapshot.resume import resume_run, resume_simulator, resume_traces
+from repro.snapshot.sampling import (
+    MetricEstimate,
+    SampleReport,
+    SamplingError,
+    SamplingParams,
+    estimate_metric,
+    run_sampled,
+    sample_offsets,
+    t_critical,
+)
+from repro.snapshot.state import capture_machine, restore_machine
+
+__all__ = [
+    "CHECKPOINT_KINDS",
+    "Checkpoint",
+    "CheckpointStore",
+    "MachineSnapshot",
+    "MetricEstimate",
+    "SNAPSHOT_SCHEMA_VERSION",
+    "SampleReport",
+    "SamplingError",
+    "SamplingParams",
+    "SnapshotError",
+    "SnapshotFormatError",
+    "SnapshotStateError",
+    "capture_machine",
+    "checkpoint_key",
+    "checkpoint_to_payload",
+    "create_checkpoint",
+    "estimate_metric",
+    "load_snapshot",
+    "payload_to_checkpoint",
+    "payload_to_snapshot",
+    "restore_machine",
+    "resume_run",
+    "resume_simulator",
+    "resume_traces",
+    "run_sampled",
+    "sample_offsets",
+    "save_snapshot",
+    "snapshot_bytes",
+    "snapshot_digest",
+    "snapshot_to_payload",
+    "t_critical",
+    "workloads_for",
+]

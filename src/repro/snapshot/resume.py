@@ -1,0 +1,80 @@
+"""Resume simulation from a checkpoint.
+
+The continuation traces are *regenerated*, not stored: trace generation
+is a pure function of (workload class, seed, sizing), so skipping to
+the checkpoint's operation offset reproduces the exact op stream an
+uninterrupted generation would have produced there (held as a line by
+``tests/test_workload_resume.py``).  The workload cursor recorded in
+the snapshot is cross-checked after the skip — a mismatch means the
+workload code changed since the checkpoint was taken, which surfaces as
+a :class:`~repro.snapshot.format.SnapshotFormatError` rather than a
+silently wrong simulation.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.isa.trace import OpTrace
+from repro.obs.tracer import Tracer
+from repro.sim.simulator import Simulator, SimResult
+from repro.snapshot.checkpoint import Checkpoint, workloads_for
+from repro.snapshot.format import SnapshotFormatError
+from repro.snapshot.state import restore_machine
+
+if TYPE_CHECKING:  # runtime import would cycle: faults.harness uses us
+    from repro.faults.harness import FaultInjector
+
+
+def resume_traces(
+    checkpoint: Checkpoint, count: Optional[int] = None
+) -> List[OpTrace]:
+    """Regenerate the continuation op traces at the checkpoint offset.
+
+    ``count`` limits the segment length (default: everything left in
+    the cell's measured stream).
+    """
+    remaining = checkpoint.remaining_ops if count is None else count
+    if remaining < 0 or checkpoint.op_offset + remaining > checkpoint.cell.sim_ops:
+        raise ValueError(
+            f"cannot resume {remaining} op(s) at offset {checkpoint.op_offset} "
+            f"of a {checkpoint.cell.sim_ops}-op cell"
+        )
+    traces: List[OpTrace] = []
+    for workload in workloads_for(checkpoint.cell):
+        workload.skip(checkpoint.op_offset)
+        expected = checkpoint.machine.workload_cursors.get(workload.thread_id)
+        if expected is not None and workload.cursor() != expected:
+            raise SnapshotFormatError(
+                f"workload cursor drifted for thread {workload.thread_id}: "
+                f"regenerated {workload.cursor()}, snapshot recorded "
+                f"{expected} (workload code changed since the checkpoint?)"
+            )
+        traces.append(workload.generate_segment(remaining))
+    return traces
+
+
+def resume_simulator(
+    checkpoint: Checkpoint,
+    count: Optional[int] = None,
+    tracer: Optional[Tracer] = None,
+    fault_injector: Optional["FaultInjector"] = None,
+) -> Simulator:
+    """Restore the checkpointed machine, loaded with continuation traces."""
+    traces = resume_traces(checkpoint, count)
+    return restore_machine(
+        checkpoint.machine,
+        traces,
+        tracer=tracer,
+        fault_injector=fault_injector,
+    )
+
+
+def resume_run(
+    checkpoint: Checkpoint,
+    count: Optional[int] = None,
+    tracer: Optional[Tracer] = None,
+) -> SimResult:
+    """Restore and run the continuation to completion."""
+    sim = resume_simulator(checkpoint, count=count, tracer=tracer)
+    return sim.run(max_cycles=checkpoint.cell.max_cycles)

@@ -57,6 +57,8 @@ class Workload:
         self.golden: Dict[int, int] = {}
         self._recording: Optional[TxRecord] = None
         self._next_txid = 1
+        self._prepared = False
+        self._ops_emitted = 0
 
     # -- recording helpers ---------------------------------------------------------
 
@@ -121,18 +123,70 @@ class Workload:
 
     def generate(self) -> OpTrace:
         """Produce this thread's operation trace (setup + sim_ops)."""
-        self.setup()
+        self.prepare()
+        return self.generate_segment(self.sim_ops)
+
+    # -- segmented generation / resume -------------------------------------
+
+    def prepare(self) -> None:
+        """Run :meth:`setup` once; idempotent.
+
+        Segmented generation (checkpointing, sampling) calls this before
+        slicing the op stream with :meth:`skip` / :meth:`generate_segment`.
+        """
+        if not self._prepared:
+            self.setup()
+            self._prepared = True
+
+    def generate_segment(self, count: int) -> OpTrace:
+        """Emit the next ``count`` operations as a standalone trace.
+
+        The trace's ``initial_image`` and ``warm_lines`` reflect the
+        workload state *at the segment start* (setup plus every
+        previously emitted or skipped operation), so the functional
+        persistence model of a suffix segment starts from the correct
+        memory image.  Generating the full stream in segments yields
+        byte-identical operations to one :meth:`generate` call.
+        """
+        if count < 0:
+            raise ValueError("segment length must be non-negative")
+        self.prepare()
         trace = OpTrace(thread_id=self.thread_id)
         trace.warm_lines = self.warm_lines()
         trace.initial_image = dict(self.golden)
-        for _ in range(self.sim_ops):
+        for _ in range(count):
             if self.think_instructions:
                 trace.append(
                     Op.compute(self.think_instructions, latency=self.think_latency)
                 )
             trace.append(self.run_op())
+        self._ops_emitted += count
         trace.validate()
         return trace
+
+    def skip(self, count: int) -> List[TxRecord]:
+        """Fast-forward over ``count`` operations without building a trace.
+
+        RNG state, the golden image, and transaction-id assignment evolve
+        exactly as :meth:`generate_segment` would evolve them, so a
+        subsequent segment is byte-identical to the one an uninterrupted
+        generation would have produced.  Returns the consumed transaction
+        records — checkpoint creation replays them to position log
+        cursors.
+        """
+        if count < 0:
+            raise ValueError("skip length must be non-negative")
+        self.prepare()
+        consumed = [self.run_op() for _ in range(count)]
+        self._ops_emitted += count
+        return consumed
+
+    def cursor(self) -> Dict[str, int]:
+        """Resume cursor: where this workload's op stream currently stands."""
+        return {
+            "ops_emitted": self._ops_emitted,
+            "next_txid": self._next_txid,
+        }
 
     def warm_lines(self) -> List[int]:
         """Cache lines touched by initialization, in touch order.
