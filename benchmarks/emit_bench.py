@@ -33,6 +33,12 @@ launched from a warm checkpoint, verifying both pass;
 SMARTS-style interval sampling, recording wall times, the sampled
 estimates with their confidence intervals, and the relative error
 against the full run.
+
+Crash-safety comparison (``repro.parallel.resilience``):
+``--compare-resilience`` times one evaluation sweep three ways —
+undisturbed serial, a journaled run interrupted halfway, and the resume
+that finishes it — verifying the resume executes only the leftover
+cells and the recovered results are byte-identical to the serial pass.
 """
 
 from __future__ import annotations
@@ -163,6 +169,73 @@ def compare_runner(
         "parallel_wall_time_s": round(parallel_s, 3),
         "warm_cache_wall_time_s": round(warm_s, 3),
         "warm_cache_hits": warm_hits,
+        "byte_identical": identical,
+    }
+
+
+def compare_resilience(
+    threads: int, scale: float, seed: int, jobs: int
+) -> dict:
+    """Time an undisturbed sweep vs an interrupted-then-resumed one.
+
+    The "interruption" journals the first half of the cells and stops —
+    exactly the journal state a SIGKILL between cells leaves behind.
+    The resume must execute only the second half and reproduce the
+    undisturbed serial results byte for byte.
+    """
+    from repro.analysis.experiments import bench_cell
+    from repro.core.schemes import FIGURE_ORDER
+    from repro.parallel import SweepJournal, SweepRunner, result_bytes
+    from repro.sim.config import fast_nvm_config
+    from repro.workloads import BENCHMARK_ORDER
+
+    config = fast_nvm_config(cores=threads)
+    cells = [
+        bench_cell(name, scheme, config, threads, scale, seed)
+        for name in BENCHMARK_ORDER
+        for scheme in FIGURE_ORDER
+    ]
+
+    start = time.perf_counter()
+    serial_results = SweepRunner(jobs=1).run_cells(cells)
+    serial_s = time.perf_counter() - start
+    reference = [result_bytes(result) for result in serial_results]
+
+    cut = max(1, len(cells) // 2)
+    with tempfile.TemporaryDirectory(prefix="repro-bench-journal-") as tmp:
+        journal_path = Path(tmp) / "journal.jsonl"
+        start = time.perf_counter()
+        with SweepJournal(journal_path, label="bench-resilience") as journal:
+            SweepRunner(jobs=jobs, journal=journal).run_cells(cells[:cut])
+        interrupted_s = time.perf_counter() - start
+
+        start = time.perf_counter()
+        with SweepJournal(journal_path, label="bench-resilience") as journal:
+            resumed = SweepRunner(jobs=jobs, journal=journal)
+            resumed_results = resumed.run_cells(cells)
+        resumed_s = time.perf_counter() - start
+
+    identical = [
+        result_bytes(result) for result in resumed_results
+    ] == reference
+    print(f"  resilience[serial     ] {serial_s:8.2f}s  "
+          f"{len(cells)} cells undisturbed")
+    print(f"  resilience[interrupted] {interrupted_s:8.2f}s  "
+          f"{cut} cells journaled, then killed")
+    print(f"  resilience[resumed    ] {resumed_s:8.2f}s  "
+          f"{resumed.simulated} simulated, "
+          f"{resumed.journal_hits} journal hit(s)")
+    if not identical:
+        print("warning: resumed sweep NOT byte-identical", file=sys.stderr)
+    return {
+        "cells": len(cells),
+        "interrupted_after": cut,
+        "jobs": jobs,
+        "serial_wall_time_s": round(serial_s, 3),
+        "interrupted_wall_time_s": round(interrupted_s, 3),
+        "resumed_wall_time_s": round(resumed_s, 3),
+        "resumed_simulated": resumed.simulated,
+        "resumed_journal_hits": resumed.journal_hits,
         "byte_identical": identical,
     }
 
@@ -298,6 +371,9 @@ def main(argv=None) -> int:
     parser.add_argument("--compare-runner", action="store_true",
                         help="also time serial vs parallel vs warm-cache "
                              "on one evaluation sweep")
+    parser.add_argument("--compare-resilience", action="store_true",
+                        help="also time undisturbed vs interrupted+resumed "
+                             "on one evaluation sweep")
     parser.add_argument("--compare-faults", action="store_true",
                         help="also time one crash campaign cold vs "
                              "warm-checkpointed")
@@ -317,6 +393,12 @@ def main(argv=None) -> int:
     comparison = None
     if args.compare_runner:
         comparison = compare_runner(
+            args.threads, args.scale, args.seed,
+            jobs=args.jobs if args.jobs and args.jobs > 1 else 4,
+        )
+    resilience_comparison = None
+    if args.compare_resilience:
+        resilience_comparison = compare_resilience(
             args.threads, args.scale, args.seed,
             jobs=args.jobs if args.jobs and args.jobs > 1 else 4,
         )
@@ -353,6 +435,8 @@ def main(argv=None) -> int:
     }
     if comparison is not None:
         record["runner_comparison"] = comparison
+    if resilience_comparison is not None:
+        record["resilience_comparison"] = resilience_comparison
     if faults_comparison is not None:
         record["faults_comparison"] = faults_comparison
     if sampling_comparison is not None:

@@ -130,14 +130,20 @@ def run_cached(
 
 @dataclass
 class EvaluationResult:
-    """A figure/table's measured data plus the paper's reference values."""
+    """A figure/table's measured data plus the paper's reference values.
+
+    Rows may contain ``None`` entries when the backing sweep quarantined
+    a cell (see :mod:`repro.parallel.resilience`); ``notes`` carries the
+    quarantine summaries and ``report()`` marks the output as partial.
+    """
 
     title: str
     columns: List[str]
-    rows: Dict[str, List[float]]
+    rows: Dict[str, List[Optional[float]]]
     paper_reference: Dict[str, float] = field(default_factory=dict)
-    measured_summary: Dict[str, float] = field(default_factory=dict)
+    measured_summary: Dict[str, Optional[float]] = field(default_factory=dict)
     value_format: str = "{:.2f}"
+    notes: List[str] = field(default_factory=list)
 
     def report(self) -> str:
         text = format_table(
@@ -150,7 +156,37 @@ class EvaluationResult:
                 self.measured_summary,
                 value_format=self.value_format,
             )
+        if self.notes:
+            text += "\nPARTIAL RESULTS — quarantined cells omitted:\n"
+            text += "\n".join(f"  {note}" for note in self.notes) + "\n"
         return text
+
+
+def _runner_notes(runner: SweepRunner) -> List[str]:
+    """Quarantine summaries to surface in a figure/table report."""
+    return runner.quarantine_notes()
+
+
+def evaluation_cells(
+    config: SystemConfig,
+    schemes: Sequence[Scheme] = FIGURE_ORDER,
+    benchmarks: Sequence[str] = BENCHMARK_ORDER,
+    threads: int = DEFAULT_THREADS,
+    scale: float = 1.0,
+    seed: int = DEFAULT_SEED,
+) -> Dict[Tuple[str, Scheme], CellSpec]:
+    """The (benchmark x scheme) cell matrix one evaluation sweep runs.
+
+    Factored out of :func:`run_evaluation` so tools that need the exact
+    cell set without running it (the chaos harness compares a journaled
+    CLI run against these cells executed serially) stay in lockstep.
+    """
+    wanted = list(dict.fromkeys(list(schemes) + [BASELINE]))
+    return {
+        (name, scheme): bench_cell(name, scheme, config, threads, scale, seed)
+        for name in benchmarks
+        for scheme in wanted
+    }
 
 
 def run_evaluation(
@@ -161,35 +197,52 @@ def run_evaluation(
     scale: Optional[float] = None,
     seed: int = DEFAULT_SEED,
     runner: Optional[SweepRunner] = None,
-) -> Dict[Tuple[str, Scheme], SimResult]:
+) -> Dict[Tuple[str, Scheme], Optional[SimResult]]:
     """Run (benchmark x scheme) sweeps, including the PMEM baseline.
 
     The whole matrix is enumerated up front and submitted as one batch,
-    so a parallel runner fans every cell out at once.
+    so a parallel runner fans every cell out at once.  Entries are
+    ``None`` only for cells the runner quarantined.
     """
     scale = _env_scale() if scale is None else scale
     runner = get_default_runner() if runner is None else runner
-    wanted = list(dict.fromkeys(list(schemes) + [BASELINE]))
-    keys = [(name, scheme) for name in benchmarks for scheme in wanted]
-    cells = [
-        bench_cell(name, scheme, config, threads, scale, seed)
-        for name, scheme in keys
-    ]
-    return dict(zip(keys, runner.run_cells(cells)))
+    matrix = evaluation_cells(config, schemes, benchmarks, threads, scale, seed)
+    keys = list(matrix)
+    return dict(zip(keys, runner.run_cells([matrix[key] for key in keys])))
+
+
+def _cycles(result: Optional[SimResult]) -> Optional[float]:
+    return float(result.cycles) if result is not None else None
+
+
+def _div(num: Optional[float], den: Optional[float]) -> Optional[float]:
+    """None-tolerant ratio: any missing operand poisons the cell."""
+    if num is None or den is None:
+        return None
+    return num / den
+
+
+def _geomean_or_none(values: Sequence[Optional[float]]) -> Optional[float]:
+    """Geomean over the present values; None when nothing survived."""
+    present = [value for value in values if value is not None]
+    return geometric_mean(present) if present else None
 
 
 def _speedup_rows(
-    results: Dict[Tuple[str, Scheme], SimResult],
+    results: Dict[Tuple[str, Scheme], Optional[SimResult]],
     schemes: Sequence[Scheme],
     benchmarks: Sequence[str],
-) -> Dict[str, List[float]]:
-    rows: Dict[str, List[float]] = {}
+) -> Dict[str, List[Optional[float]]]:
+    rows: Dict[str, List[Optional[float]]] = {}
     for scheme in schemes:
-        values = [
-            results[(name, BASELINE)].cycles / results[(name, scheme)].cycles
+        values: List[Optional[float]] = [
+            _div(
+                _cycles(results.get((name, BASELINE))),
+                _cycles(results.get((name, scheme))),
+            )
             for name in benchmarks
         ]
-        values.append(geometric_mean(values))
+        values.append(_geomean_or_none(values))
         rows[str(scheme)] = values
     return rows
 
@@ -214,6 +267,7 @@ def fig6_speedup_nvm(
 ) -> EvaluationResult:
     """Figure 6: speedup over PMEM software logging on fast NVM."""
     config = fast_nvm_config(cores=threads)
+    runner = get_default_runner() if runner is None else runner
     results = run_evaluation(
         config, threads=threads, scale=scale, seed=seed, runner=runner
     )
@@ -226,6 +280,7 @@ def fig6_speedup_nvm(
         rows=rows,
         paper_reference=FIG6_PAPER,
         measured_summary=measured,
+        notes=_runner_notes(runner),
     )
 
 
@@ -248,26 +303,32 @@ def fig7_frontend_stalls(
 ) -> EvaluationResult:
     """Figure 7: front-end stall cycles normalized to PMEM+nolog."""
     config = fast_nvm_config(cores=threads)
+    runner = get_default_runner() if runner is None else runner
     schemes = (Scheme.ATOM, Scheme.PROTEUS, Scheme.PMEM_NOLOG)
     results = run_evaluation(
         config, schemes=schemes, threads=threads, scale=scale, seed=seed,
         runner=runner,
     )
     benchmarks = list(BENCHMARK_ORDER)
-    rows: Dict[str, List[float]] = {}
+    rows: Dict[str, List[Optional[float]]] = {}
     for scheme in (Scheme.ATOM, Scheme.PROTEUS):
-        values = []
+        values: List[Optional[float]] = []
         for name in benchmarks:
-            ideal = max(1, results[(name, Scheme.PMEM_NOLOG)].frontend_stalls)
-            values.append(results[(name, scheme)].frontend_stalls / ideal)
-        values.append(geometric_mean(values))
+            ideal_result = results.get((name, Scheme.PMEM_NOLOG))
+            measured_result = results.get((name, scheme))
+            if ideal_result is None or measured_result is None:
+                values.append(None)
+                continue
+            ideal = max(1, ideal_result.frontend_stalls)
+            values.append(measured_result.frontend_stalls / ideal)
+        values.append(_geomean_or_none(values))
         rows[str(scheme)] = values
     atom_mean = rows[str(Scheme.ATOM)][-1]
     proteus_mean = rows[str(Scheme.PROTEUS)][-1]
     measured = {
         "ATOM / ideal": atom_mean,
         "Proteus / ideal": proteus_mean,
-        "ATOM / Proteus": atom_mean / proteus_mean,
+        "ATOM / Proteus": _div(atom_mean, proteus_mean),
     }
     return EvaluationResult(
         title="Figure 7: front-end stall cycles (normalized to PMEM+nolog)",
@@ -275,6 +336,7 @@ def fig7_frontend_stalls(
         rows=rows,
         paper_reference=FIG7_PAPER,
         measured_summary=measured,
+        notes=_runner_notes(runner),
     )
 
 
@@ -297,24 +359,30 @@ def fig8_nvm_writes(
 ) -> EvaluationResult:
     """Figure 8: NVMM writes normalized to PMEM+nolog."""
     config = fast_nvm_config(cores=threads)
+    runner = get_default_runner() if runner is None else runner
     results = run_evaluation(
         config, threads=threads, scale=scale, seed=seed, runner=runner
     )
     benchmarks = list(BENCHMARK_ORDER)
-    rows: Dict[str, List[float]] = {}
+    rows: Dict[str, List[Optional[float]]] = {}
     for scheme in (Scheme.PMEM, Scheme.ATOM, Scheme.PROTEUS_NOLWR, Scheme.PROTEUS):
-        values = []
+        values: List[Optional[float]] = []
         for name in benchmarks:
-            ideal = max(1, results[(name, Scheme.PMEM_NOLOG)].nvm_writes)
-            values.append(results[(name, scheme)].nvm_writes / ideal)
-        values.append(geometric_mean(values))
+            ideal_result = results.get((name, Scheme.PMEM_NOLOG))
+            measured_result = results.get((name, scheme))
+            if ideal_result is None or measured_result is None:
+                values.append(None)
+                continue
+            ideal = max(1, ideal_result.nvm_writes)
+            values.append(measured_result.nvm_writes / ideal)
+        values.append(_geomean_or_none(values))
         rows[str(scheme)] = values
     atom = rows[str(Scheme.ATOM)]
-    proteus = rows[str(Scheme.PROTEUS)]
+    proteus = [value for value in rows[str(Scheme.PROTEUS)][:-1] if value is not None]
     measured = {
         "ATOM avg": atom[-1],
         "ATOM worst (AT)": atom[benchmarks.index("AT")],
-        "Proteus worst": max(proteus[:-1]),
+        "Proteus worst": max(proteus) if proteus else None,
     }
     return EvaluationResult(
         title="Figure 8: NVMM writes (normalized to PMEM+nolog)",
@@ -322,6 +390,7 @@ def fig8_nvm_writes(
         rows=rows,
         paper_reference=FIG8_PAPER,
         measured_summary=measured,
+        notes=_runner_notes(runner),
     )
 
 
@@ -343,6 +412,7 @@ def _latency_sensitivity(
     runner: Optional[SweepRunner] = None,
 ) -> EvaluationResult:
     schemes = (Scheme.PMEM_PCOMMIT, Scheme.ATOM, Scheme.PROTEUS, Scheme.PMEM_NOLOG)
+    runner = get_default_runner() if runner is None else runner
     results = run_evaluation(
         config, schemes=schemes, threads=threads, scale=scale, seed=seed,
         runner=runner,
@@ -360,6 +430,7 @@ def _latency_sensitivity(
         rows=rows,
         paper_reference=paper,
         measured_summary=measured,
+        notes=_runner_notes(runner),
     )
 
 
@@ -437,13 +508,16 @@ def fig11_logq_sweep(
         for name, size in keys
     ]
     results = dict(zip(keys, runner.run_cells(cells)))
-    rows: Dict[str, List[float]] = {}
+    rows: Dict[str, List[Optional[float]]] = {}
     for size in sizes:
-        values = [
-            results[(name, None)].cycles / results[(name, size)].cycles
+        values: List[Optional[float]] = [
+            _div(
+                _cycles(results.get((name, None))),
+                _cycles(results.get((name, size))),
+            )
             for name in benchmarks
         ]
-        values.append(geometric_mean(values))
+        values.append(_geomean_or_none(values))
         rows[f"LogQ={size}"] = values
     measured = {}
     if 8 in sizes:
@@ -456,6 +530,7 @@ def fig11_logq_sweep(
         rows=rows,
         paper_reference=FIG11_PAPER,
         measured_summary=measured,
+        notes=_runner_notes(runner),
     )
 
 
@@ -496,13 +571,16 @@ def fig12_lpq_sweep(
         for name, size in keys
     ]
     results = dict(zip(keys, runner.run_cells(cells)))
-    rows: Dict[str, List[float]] = {}
+    rows: Dict[str, List[Optional[float]]] = {}
     for size in sizes:
-        values = [
-            results[(name, None)].cycles / results[(name, size)].cycles
+        values: List[Optional[float]] = [
+            _div(
+                _cycles(results.get((name, None))),
+                _cycles(results.get((name, size))),
+            )
             for name in benchmarks
         ]
-        values.append(geometric_mean(values))
+        values.append(_geomean_or_none(values))
         rows[f"LPQ={size}"] = values
     paper = {
         "large-LPQ plateau": 1.46,
@@ -516,6 +594,7 @@ def fig12_lpq_sweep(
         rows=rows,
         paper_reference=paper,
         measured_summary=measured,
+        notes=_runner_notes(runner),
     )
 
 
@@ -588,10 +667,12 @@ def table3_large_transactions(
         for _, scheme, cfg_for in variants
     ]
     results = dict(zip(keys, runner.run_cells(cells)))
-    rows: Dict[str, List[float]] = {
+    rows: Dict[str, List[Optional[float]]] = {
         label: [
-            results[("baseline", elements)].cycles
-            / results[(label, elements)].cycles
+            _div(
+                _cycles(results.get(("baseline", elements))),
+                _cycles(results.get((label, elements))),
+            )
             for elements in sizes
         ]
         for label, _, _ in variants
@@ -612,6 +693,7 @@ def table3_large_transactions(
         rows=rows,
         paper_reference=TABLE3_PAPER,
         measured_summary=measured,
+        notes=_runner_notes(runner),
     )
 
 
@@ -645,8 +727,11 @@ def table4_llt_miss_rate(
         for name in benchmarks
     ]
     results = runner.run_cells(cells)
-    values = [100.0 * result.stats.llt_miss_rate() for result in results]
-    rows = {"miss rate %": values}
+    values: List[Optional[float]] = [
+        100.0 * result.stats.llt_miss_rate() if result is not None else None
+        for result in results
+    ]
+    rows: Dict[str, List[Optional[float]]] = {"miss rate %": values}
     measured = dict(zip(benchmarks, values))
     return EvaluationResult(
         title="Table 4: LLT miss rate (%) with a 64-entry LLT",
@@ -655,4 +740,5 @@ def table4_llt_miss_rate(
         paper_reference=TABLE4_PAPER,
         measured_summary=measured,
         value_format="{:.1f}",
+        notes=_runner_notes(runner),
     )

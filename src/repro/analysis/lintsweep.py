@@ -10,11 +10,17 @@ fixed seed.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import Any, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.core.schemes import Scheme
-from repro.lint.diagnostics import LintResult
+from repro.lint.diagnostics import Diagnostic, LintResult
 from repro.lint.runner import lint_workload
+from repro.parallel.journal import SweepJournal
+from repro.parallel.resilience import (
+    QuarantineRecord,
+    ResilienceConfig,
+    resilient_map,
+)
 from repro.parallel.runner import parallel_map
 from repro.workloads import BENCHMARK_ORDER
 
@@ -24,6 +30,7 @@ class LintSweepResult:
     """Outcome of one lint sweep."""
 
     results: List[LintResult] = field(default_factory=list)
+    quarantined: List[QuarantineRecord] = field(default_factory=list)
 
     @property
     def errors(self) -> int:
@@ -77,6 +84,11 @@ class LintSweepResult:
                     lines.append(
                         f"  [{result.scheme} x {result.workload}] {diag.format()}"
                     )
+        if self.quarantined:
+            lines.append("  PARTIAL RESULTS — quarantined cells omitted:")
+            lines.extend(
+                f"    {record.summary()}" for record in self.quarantined
+            )
         return "\n".join(lines) + "\n"
 
 
@@ -91,6 +103,48 @@ def _lint_task(
     )
 
 
+def _lint_payload(result: LintResult) -> Mapping[str, Any]:
+    """JSON-safe form of a lint cell for the sweep journal."""
+    return {
+        "scheme": result.scheme.value,
+        "workload": result.workload,
+        "threads": result.threads,
+        "instructions": result.instructions,
+        "diagnostics": [
+            {
+                "code": diag.code,
+                "thread_id": diag.thread_id,
+                "index": diag.index,
+                "message": diag.message,
+                "addr": diag.addr,
+                "txid": diag.txid,
+            }
+            for diag in result.diagnostics
+        ],
+    }
+
+
+def _lint_from_payload(payload: Mapping[str, Any]) -> LintResult:
+    """Inverse of :func:`_lint_payload`; raises on malformed payloads."""
+    return LintResult(
+        scheme=Scheme(str(payload["scheme"])),
+        workload=str(payload["workload"]),
+        threads=int(payload["threads"]),
+        instructions=int(payload["instructions"]),
+        diagnostics=[
+            Diagnostic(
+                code=str(entry["code"]),
+                thread_id=int(entry["thread_id"]),
+                index=int(entry["index"]),
+                message=str(entry["message"]),
+                addr=None if entry["addr"] is None else int(entry["addr"]),
+                txid=int(entry["txid"]),
+            )
+            for entry in payload["diagnostics"]
+        ],
+    )
+
+
 def lint_sweep(
     schemes: Optional[Sequence[Union[Scheme, str]]] = None,
     workloads: Optional[Sequence[str]] = None,
@@ -99,12 +153,18 @@ def lint_sweep(
     init_ops: Optional[int] = None,
     sim_ops: Optional[int] = None,
     jobs: int = 1,
+    resilience: Optional[ResilienceConfig] = None,
+    journal: Optional[SweepJournal] = None,
 ) -> LintSweepResult:
     """Lint every (scheme, workload) combination of the given sets.
 
     Defaults sweep all bundled schemes over all bundled workloads.  With
     ``jobs > 1`` the cells are linted in worker processes; result order
-    (and therefore the report) is identical either way.
+    (and therefore the report) is identical either way.  With a
+    ``resilience`` config and/or a ``journal`` attached, execution goes
+    through :func:`~repro.parallel.resilience.resilient_map`: crashed or
+    stuck workers are healed, exhausted cells are quarantined (rendered
+    as ``-`` in the matrix), and a killed sweep resumes from the journal.
     """
     scheme_list = [Scheme.parse(s) for s in schemes] if schemes else list(Scheme)
     workload_list = list(workloads) if workloads else list(BENCHMARK_ORDER)
@@ -113,4 +173,28 @@ def lint_sweep(
         for scheme in scheme_list
         for workload in workload_list
     ]
+    if resilience is not None or journal is not None:
+        keys = [
+            f"lint:{scheme.value}:{workload}:t{threads}:s{seed}"
+            f":i{init_ops}:o{sim_ops}"
+            for (scheme, workload, threads, seed, init_ops, sim_ops) in items
+        ]
+        values, quarantined = resilient_map(
+            _lint_task,
+            items,
+            keys,
+            jobs=jobs,
+            config=resilience,
+            journal=journal,
+            encode=_lint_payload,
+            decode=_lint_from_payload,
+            descriptions={
+                key: {"scheme": item[0].value, "workload": item[1]}
+                for key, item in zip(keys, items)
+            },
+        )
+        return LintSweepResult(
+            results=[result for result in values if result is not None],
+            quarantined=quarantined,
+        )
     return LintSweepResult(results=parallel_map(_lint_task, items, jobs=jobs))

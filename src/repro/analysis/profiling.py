@@ -18,13 +18,19 @@ stable under scaling just as they are for the figures.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.analysis.experiments import DEFAULT_SEED, benchmark_traces
 from repro.analysis.report import format_table
 from repro.core.schemes import FIGURE_ORDER, Scheme
 from repro.obs.spans import ATTRIBUTION_CLASSES, attribution_totals, build_tx_spans
 from repro.obs.tracer import Tracer
+from repro.parallel.journal import SweepJournal
+from repro.parallel.resilience import (
+    QuarantineRecord,
+    ResilienceConfig,
+    resilient_map,
+)
 from repro.parallel.runner import parallel_map
 from repro.sim.config import fast_nvm_config
 from repro.sim.simulator import run_trace
@@ -64,6 +70,29 @@ class ProfileCell:
             key=lambda name: (self.blocked.get(name, 0), -order[name]),
         )
 
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON-safe form for the sweep journal."""
+        return {
+            "scheme": self.scheme.value,
+            "workload": self.workload,
+            "cycles": self.cycles,
+            "transactions": self.transactions,
+            "events": self.events,
+            "blocked": dict(self.blocked),
+        }
+
+    @staticmethod
+    def from_payload(payload: Mapping[str, Any]) -> "ProfileCell":
+        """Inverse of :meth:`to_payload`; raises on malformed payloads."""
+        return ProfileCell(
+            scheme=Scheme(str(payload["scheme"])),
+            workload=str(payload["workload"]),
+            cycles=int(payload["cycles"]),
+            transactions=int(payload["transactions"]),
+            events=int(payload["events"]),
+            blocked={str(k): int(v) for k, v in payload["blocked"].items()},
+        )
+
 
 @dataclass
 class ProfileSweepResult:
@@ -73,6 +102,7 @@ class ProfileSweepResult:
     threads: int
     scale: float
     seed: int
+    quarantined: List[QuarantineRecord] = field(default_factory=list)
 
     def cell(self, scheme: Scheme, workload: str) -> Optional[ProfileCell]:
         for cell in self.cells:
@@ -132,6 +162,13 @@ class ProfileSweepResult:
         )
         for label, row in dominant.items():
             sections.append(label.ljust(label_width + 2) + row)
+        if self.quarantined:
+            sections.append(
+                "\nPARTIAL RESULTS — quarantined cells omitted:"
+            )
+            sections.extend(
+                f"  {record.summary()}" for record in self.quarantined
+            )
         return "\n".join(sections)
 
 
@@ -165,6 +202,10 @@ def _profile_task(item: Tuple[Scheme, str, int, float, int]) -> ProfileCell:
     return profile_one(scheme, workload, threads=threads, scale=scale, seed=seed)
 
 
+def _cell_payload(cell: ProfileCell) -> Mapping[str, Any]:
+    return cell.to_payload()
+
+
 def profile_sweep(
     schemes: Optional[Sequence[Scheme]] = None,
     workloads: Optional[Sequence[str]] = None,
@@ -172,13 +213,19 @@ def profile_sweep(
     scale: float = DEFAULT_PROFILE_SCALE,
     seed: int = DEFAULT_SEED,
     jobs: int = 1,
+    resilience: Optional[ResilienceConfig] = None,
+    journal: Optional[SweepJournal] = None,
 ) -> ProfileSweepResult:
     """Trace the scheme × workload matrix and attribute every cell.
 
     Defaults to the five figure schemes over every benchmark.  With
     ``jobs > 1`` the cells are traced in worker processes (only the
     compact :class:`ProfileCell` attributions cross back — the raw event
-    streams, the memory cost driver here, stay worker-local).
+    streams, the memory cost driver here, stay worker-local).  With a
+    ``resilience`` config and/or a ``journal`` attached, execution goes
+    through :func:`~repro.parallel.resilience.resilient_map`: crashed or
+    stuck workers are healed, exhausted cells are quarantined (reported,
+    not fatal), and a killed sweep resumes from the journal.
     """
     from repro.workloads import BENCHMARK_ORDER
 
@@ -189,5 +236,33 @@ def profile_sweep(
         for workload in workloads
         for scheme in schemes
     ]
-    cells = parallel_map(_profile_task, items, jobs=jobs)
-    return ProfileSweepResult(cells=cells, threads=threads, scale=scale, seed=seed)
+    quarantined: List[QuarantineRecord] = []
+    if resilience is not None or journal is not None:
+        keys = [
+            f"profile:{scheme.value}:{workload}:t{threads}:s{seed}:x{scale:g}"
+            for (scheme, workload, threads, scale, seed) in items
+        ]
+        values, quarantined = resilient_map(
+            _profile_task,
+            items,
+            keys,
+            jobs=jobs,
+            config=resilience,
+            journal=journal,
+            encode=_cell_payload,
+            decode=ProfileCell.from_payload,
+            descriptions={
+                key: {"scheme": item[0].value, "workload": item[1]}
+                for key, item in zip(keys, items)
+            },
+        )
+        cells = [cell for cell in values if cell is not None]
+    else:
+        cells = parallel_map(_profile_task, items, jobs=jobs)
+    return ProfileSweepResult(
+        cells=cells,
+        threads=threads,
+        scale=scale,
+        seed=seed,
+        quarantined=quarantined,
+    )

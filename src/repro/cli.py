@@ -17,6 +17,10 @@ Subcommands:
   summary with per-transaction critical-path attribution.
 * ``profile`` — trace the scheme×workload matrix and print the
   bottleneck-attribution report (where blocked cycles go, per scheme).
+* ``chaos`` — turn the fault injection on the runner itself: seeded
+  campaigns that SIGKILL workers mid-cell, hang them past the timeout,
+  corrupt the journal and cache on disk, then assert every resumed run
+  is byte-identical to an undisturbed serial run.
 * ``snapshot`` — deterministic machine checkpoints and sampled
   simulation: ``create`` (simulate or fast-forward to an offset and
   store/write the checkpoint), ``inspect`` (print its metadata),
@@ -30,6 +34,8 @@ Examples::
     python -m repro compare --benchmark AT --threads 2
     python -m repro experiment fig6 --threads 2 --scale 0.25 --seed 7
     python -m repro experiment fig11 --jobs 4 --cache-dir .repro-cache
+    python -m repro experiment fig6 --jobs 4 --journal fig6.jsonl --resume
+    python -m repro chaos --rounds 2 --jobs 2 --driver-kill
     python -m repro crash --benchmark HM --crashes 100 --scheme ATOM
     python -m repro faults --scheme proteus --workload btree --crashes 200 --seed 7
     python -m repro lint --scheme all --workload all
@@ -144,31 +150,97 @@ def cmd_compare(args) -> int:
     return 0
 
 
+def _open_journal(args, default_name: str):
+    """Resolve ``--journal``/``--resume`` into an open SweepJournal.
+
+    ``--resume`` without an explicit path derives one under the cache
+    directory, so ``--resume`` alone is enough to continue a killed run.
+    Pointing ``--journal`` at an existing file *without* ``--resume``
+    refuses — silently appending a fresh sweep to an old journal would
+    mix campaigns.
+    """
+    import os
+
+    from repro.parallel.cache import default_cache_dir
+    from repro.parallel.journal import SweepJournal
+
+    path = args.journal
+    if path is None and args.resume:
+        cache_dir = getattr(args, "cache_dir", None) or default_cache_dir()
+        path = os.path.join(str(cache_dir), f"journal-{default_name}.jsonl")
+    if path is None:
+        return None
+    if not args.resume and os.path.exists(path):
+        raise ValueError(
+            f"journal {path} already exists; pass --resume to continue that "
+            f"run, or delete the file to start fresh"
+        )
+    return SweepJournal(path, label=default_name)
+
+
+def _resilience_config(args):
+    """Build a ResilienceConfig from ``--cell-timeout``/``--max-retries``."""
+    from repro.parallel.resilience import ResilienceConfig
+
+    cell_timeout = getattr(args, "cell_timeout", None)
+    max_retries = getattr(args, "max_retries", None)
+    if cell_timeout is None and max_retries is None:
+        return None
+    defaults = ResilienceConfig()
+    return ResilienceConfig(
+        cell_timeout=cell_timeout,
+        max_retries=(
+            max_retries if max_retries is not None else defaults.max_retries
+        ),
+    )
+
+
+def _print_quarantine(notes: List[str]) -> None:
+    if notes:
+        print("quarantined cells (results are PARTIAL):", file=sys.stderr)
+        for note in notes:
+            print(f"  {note}", file=sys.stderr)
+
+
 def cmd_experiment(args) -> int:
     import repro.analysis as analysis
     from repro.parallel import configure_default_runner
 
+    journal = _open_journal(args, f"experiment-{args.name}")
     runner = configure_default_runner(
-        jobs=args.jobs, cache_dir=args.cache_dir, no_cache=args.no_cache
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        no_cache=args.no_cache,
+        journal=journal,
+        cell_timeout=args.cell_timeout,
+        max_retries=args.max_retries,
     )
-    if args.name == "all":
-        from repro.analysis.summary import full_report
+    try:
+        if args.name == "all":
+            from repro.analysis.summary import full_report
 
-        print(full_report(threads=args.threads, scale=args.scale, seed=args.seed))
+            print(full_report(
+                threads=args.threads, scale=args.scale, seed=args.seed
+            ))
+            print(runner.describe())
+            _print_quarantine(runner.quarantine_notes())
+            return 1 if runner.quarantined else 0
+        function = getattr(analysis, EXPERIMENTS[args.name])
+        kwargs = {}
+        if args.name not in ("table3",):
+            kwargs["threads"] = args.threads
+        if args.scale is not None:
+            kwargs["scale"] = args.scale
+        if args.seed is not None:
+            kwargs["seed"] = args.seed
+        result = function(**kwargs)
+        print(result.report())
         print(runner.describe())
-        return 0
-    function = getattr(analysis, EXPERIMENTS[args.name])
-    kwargs = {}
-    if args.name not in ("table3",):
-        kwargs["threads"] = args.threads
-    if args.scale is not None:
-        kwargs["scale"] = args.scale
-    if args.seed is not None:
-        kwargs["seed"] = args.seed
-    result = function(**kwargs)
-    print(result.report())
-    print(runner.describe())
-    return 0
+        _print_quarantine(runner.quarantine_notes())
+        return 1 if runner.quarantined else 0
+    finally:
+        if journal is not None:
+            journal.close()
 
 
 def cmd_crash(args) -> int:
@@ -209,19 +281,25 @@ def cmd_crash(args) -> int:
 def cmd_faults(args) -> int:
     from repro.faults import run_campaign
 
-    result = run_campaign(
-        args.scheme,
-        args.benchmark,
-        crashes=args.crashes,
-        seed=args.seed,
-        threads=args.threads,
-        mode=args.faults,
-        trace_tail=args.trace_tail,
-        init_ops=args.init,
-        sim_ops=args.ops,
-        think_instructions=args.think,
-        warm_start_ops=args.warm_start,
-    )
+    journal = _open_journal(args, "faults")
+    try:
+        result = run_campaign(
+            args.scheme,
+            args.benchmark,
+            crashes=args.crashes,
+            seed=args.seed,
+            threads=args.threads,
+            mode=args.faults,
+            trace_tail=args.trace_tail,
+            init_ops=args.init,
+            sim_ops=args.ops,
+            think_instructions=args.think,
+            warm_start_ops=args.warm_start,
+            journal=journal,
+        )
+    finally:
+        if journal is not None:
+            journal.close()
     report = result.report()
     if args.out:
         with open(args.out, "w") as handle:
@@ -373,21 +451,31 @@ def cmd_lint(args) -> int:
         from repro.faults.campaign import resolve_workload
 
         workloads = [resolve_workload(args.benchmark).name]
-    sweep = lint_sweep(
-        schemes=schemes,
-        workloads=workloads,
-        threads=args.threads,
-        seed=args.seed,
-        init_ops=args.init,
-        sim_ops=args.ops,
-        jobs=args.jobs,
-    )
+    journal = _open_journal(args, "lint")
+    try:
+        sweep = lint_sweep(
+            schemes=schemes,
+            workloads=workloads,
+            threads=args.threads,
+            seed=args.seed,
+            init_ops=args.init,
+            sim_ops=args.ops,
+            jobs=args.jobs,
+            resilience=_resilience_config(args),
+            journal=journal,
+        )
+    finally:
+        if journal is not None:
+            journal.close()
     if args.json:
         print(render_json(sweep.results))
-    elif len(sweep.results) == 1:
+    elif len(sweep.results) == 1 and not sweep.quarantined:
         print(render_text(sweep.results[0], verbose=args.verbose))
     else:
         print(sweep.report(verbose=args.verbose), end="")
+    if sweep.quarantined:
+        # Unlintable cells mean the gate's verdict is incomplete.
+        return 1
     if not sweep.passed:
         return 1
     if args.strict_warnings and sweep.warnings:
@@ -463,16 +551,70 @@ def cmd_profile(args) -> int:
         workloads = None
     else:
         workloads = [resolve_workload(args.benchmark).name]
-    sweep = profile_sweep(
-        schemes=schemes,
-        workloads=workloads,
-        threads=args.threads,
-        scale=DEFAULT_PROFILE_SCALE if args.scale is None else args.scale,
+    journal = _open_journal(args, "profile")
+    try:
+        sweep = profile_sweep(
+            schemes=schemes,
+            workloads=workloads,
+            threads=args.threads,
+            scale=DEFAULT_PROFILE_SCALE if args.scale is None else args.scale,
+            seed=args.seed,
+            jobs=args.jobs,
+            resilience=_resilience_config(args),
+            journal=journal,
+        )
+    finally:
+        if journal is not None:
+            journal.close()
+    print(sweep.report())
+    return 1 if sweep.quarantined else 0
+
+
+def cmd_chaos(args) -> int:
+    from repro.parallel.chaos import run_chaos_campaign
+
+    campaign = run_chaos_campaign(
+        rounds=args.rounds,
         seed=args.seed,
         jobs=args.jobs,
+        cell_timeout=args.cell_timeout,
+        work_dir=args.work_dir,
+        keep=args.keep,
+        driver_kill=args.driver_kill,
+        scale=args.scale,
     )
-    print(sweep.report())
-    return 0
+    print(campaign.report())
+    return 0 if campaign.ok else 1
+
+
+def _add_resilience_args(
+    parser: argparse.ArgumentParser,
+    what: str = "cells",
+    timeouts: bool = True,
+) -> None:
+    """Crash-safety flags shared by every sweep-shaped subcommand."""
+    parser.add_argument(
+        "--journal", default=None, metavar="FILE",
+        help="journal every task write-ahead to FILE (JSONL); a killed "
+             "run resumes from it with --resume",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="resume from the journal, executing only unfinished "
+             f"{what} (derives the journal path when --journal is omitted)",
+    )
+    if not timeouts:
+        return
+    parser.add_argument(
+        "--cell-timeout", type=float, default=None, metavar="SECONDS",
+        help=f"wall-clock budget per attempt; stuck {what} are retried "
+             "on a rebuilt worker pool",
+    )
+    parser.add_argument(
+        "--max-retries", type=int, default=None, metavar="N",
+        help="retries before a failing cell is quarantined (reported, "
+             "not fatal; the rest of the sweep completes)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -511,6 +653,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir", default=None, metavar="DIR",
         help="result-cache location (default: REPRO_CACHE_DIR or .repro-cache)",
     )
+    _add_resilience_args(experiment_parser, what="sweep cells")
     experiment_parser.set_defaults(func=cmd_experiment)
 
     crash_parser = subparsers.add_parser("crash", help="crash/recovery check")
@@ -557,6 +700,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="simulate OPS transactions once, checkpoint the quiesced "
              "machine, and launch every crash case from that warm state",
     )
+    _add_resilience_args(faults_parser, what="crash cases", timeouts=False)
     faults_parser.set_defaults(func=cmd_faults)
 
     snapshot_parser = subparsers.add_parser(
@@ -643,6 +787,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=1, metavar="N",
         help="lint up to N matrix cells in parallel worker processes",
     )
+    _add_resilience_args(lint_parser, what="matrix cells")
     lint_parser.set_defaults(func=cmd_lint)
 
     trace_parser = subparsers.add_parser(
@@ -680,7 +825,45 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=1, metavar="N",
         help="trace up to N matrix cells in parallel worker processes",
     )
+    _add_resilience_args(profile_parser, what="matrix cells")
     profile_parser.set_defaults(func=cmd_profile)
+
+    chaos_parser = subparsers.add_parser(
+        "chaos",
+        help="fault-inject the sweep runner itself and assert convergence",
+    )
+    chaos_parser.add_argument(
+        "--rounds", type=int, default=2,
+        help="seeded disturbance rounds (worker kills, hangs, torn "
+             "journals, corrupted caches)",
+    )
+    chaos_parser.add_argument("--seed", type=int, default=0)
+    chaos_parser.add_argument(
+        "--jobs", type=int, default=2,
+        help="worker processes for the disturbed runs",
+    )
+    chaos_parser.add_argument(
+        "--cell-timeout", type=float, default=5.0, metavar="SECONDS",
+        help="per-attempt budget used to reclaim deliberately hung workers",
+    )
+    chaos_parser.add_argument(
+        "--driver-kill", action="store_true",
+        help="also SIGKILL the real CLI driver mid-sweep repeatedly and "
+             "resume it until fig6 completes",
+    )
+    chaos_parser.add_argument(
+        "--scale", type=float, default=0.05,
+        help="workload scale of the driver-kill fig6 sweep",
+    )
+    chaos_parser.add_argument(
+        "--work-dir", default=None, metavar="DIR",
+        help="keep campaign artifacts here instead of a throwaway tempdir",
+    )
+    chaos_parser.add_argument(
+        "--keep", action="store_true",
+        help="keep the throwaway tempdir for post-mortem inspection",
+    )
+    chaos_parser.set_defaults(func=cmd_chaos)
     return parser
 
 

@@ -22,6 +22,7 @@ Fault modes:
 
 from __future__ import annotations
 
+import hashlib
 import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Union
@@ -32,6 +33,7 @@ from repro.faults.plan import FaultPlan, StuckBankFault, Trigger
 from repro.faults.tracker import ThreadFunctional
 from repro.obs.export import format_tail
 from repro.obs.tracer import Tracer
+from repro.parallel.journal import SweepJournal
 from repro.sim.config import SystemConfig, fast_nvm_config
 from repro.workloads import WORKLOADS
 from repro.workloads.base import generate_traces
@@ -83,6 +85,21 @@ def resolve_workload(name) -> type:
         ) from None
 
 
+@dataclass(frozen=True)
+class ReplayedCase:
+    """A crash case served from a sweep journal instead of re-executed.
+
+    Holds exactly what the report needs: the case's slot in the
+    campaign, its recovery outcome, and its pre-rendered report lines
+    (rendered at execution time, so a resumed report is byte-identical
+    to an uninterrupted one).
+    """
+
+    index: int
+    outcome: str
+    lines: List[str]
+
+
 @dataclass
 class CampaignResult:
     """Outcome of one (scheme, workload, mode) crash campaign."""
@@ -100,22 +117,32 @@ class CampaignResult:
     warm_start_ops: int = 0
     #: clock at the warm checkpoint (crash cycles are drawn above it).
     warm_checkpoint_cycle: int = 0
+    #: campaign slots of the live ``cases`` (empty = 0..len(cases)-1;
+    #: resumed campaigns have gaps where journaled cases were skipped).
+    case_indices: List[int] = field(default_factory=list)
+    #: cases replayed from a journal on resume.
+    replayed: List[ReplayedCase] = field(default_factory=list)
 
     @property
     def crashes(self) -> int:
-        return len(self.cases)
+        return len(self.cases) + len(self.replayed)
+
+    def _outcomes(self) -> List[str]:
+        return [case.outcome for case in self.cases] + [
+            replay.outcome for replay in self.replayed
+        ]
 
     @property
     def consistent(self) -> int:
-        return sum(1 for case in self.cases if case.outcome == "consistent")
+        return sum(1 for outcome in self._outcomes() if outcome == "consistent")
 
     @property
     def inconsistent(self) -> int:
-        return sum(1 for case in self.cases if case.outcome == "inconsistent")
+        return sum(1 for outcome in self._outcomes() if outcome == "inconsistent")
 
     @property
     def completed(self) -> int:
-        return sum(1 for case in self.cases if case.outcome == "completed")
+        return sum(1 for outcome in self._outcomes() if outcome == "completed")
 
     @property
     def passed(self) -> bool:
@@ -123,6 +150,26 @@ class CampaignResult:
         if self.mode in VIOLATION_MODES:
             return self.inconsistent >= 1
         return self.inconsistent == 0
+
+    def case_report_lines(self, index: int, case: CrashCaseResult) -> List[str]:
+        """Report lines for one executed case (journaled verbatim)."""
+        crash = case.plan.crash
+        where = crash.describe() if crash is not None else "no-crash"
+        line = (
+            f"  [{index:4d}] {where:<24} cycle={case.machine.cycle:<10} "
+            f"committed={','.join(str(case.machine.committed[t]) for t in sorted(case.machine.committed))} "
+            f"k={','.join(str(k) for k in case.ks)} {case.outcome}"
+        )
+        if case.detail:
+            line += f"  ({case.detail})"
+        lines = [line]
+        if case.outcome == "inconsistent" and case.machine.trace_tail:
+            tail = format_tail(
+                case.machine.trace_tail,
+                header=f"pre-crash timeline (case {index})",
+            )
+            lines.extend("    " + row for row in tail.splitlines())
+        return lines
 
     def report(self) -> str:
         """Deterministic text report (no timestamps, no absolute paths)."""
@@ -143,23 +190,16 @@ class CampaignResult:
             f"{self.inconsistent} inconsistent, {self.completed} completed) "
             f"-> {'PASS' if self.passed else 'FAIL'}",
         ]
-        for index, case in enumerate(self.cases):
-            crash = case.plan.crash
-            where = crash.describe() if crash is not None else "no-crash"
-            line = (
-                f"  [{index:4d}] {where:<24} cycle={case.machine.cycle:<10} "
-                f"committed={','.join(str(case.machine.committed[t]) for t in sorted(case.machine.committed))} "
-                f"k={','.join(str(k) for k in case.ks)} {case.outcome}"
-            )
-            if case.detail:
-                line += f"  ({case.detail})"
-            lines.append(line)
-            if case.outcome == "inconsistent" and case.machine.trace_tail:
-                tail = format_tail(
-                    case.machine.trace_tail,
-                    header=f"pre-crash timeline (case {index})",
-                )
-                lines.extend("    " + row for row in tail.splitlines())
+        indices = self.case_indices or list(range(len(self.cases)))
+        entries = [
+            (index, self.case_report_lines(index, case))
+            for index, case in zip(indices, self.cases)
+        ]
+        entries.extend(
+            (replay.index, replay.lines) for replay in self.replayed
+        )
+        for _, case_lines in sorted(entries, key=lambda entry: entry[0]):
+            lines.extend(case_lines)
         return "\n".join(lines) + "\n"
 
 
@@ -244,6 +284,49 @@ def _make_plan(
     raise ValueError(f"unknown fault mode {mode!r}; choose one of {', '.join(FAULT_MODES)}")
 
 
+def _campaign_case_keys(
+    crashes: int,
+    scheme: Scheme,
+    workload_name: str,
+    mode: str,
+    seed: int,
+    threads: int,
+    max_cycles: int,
+    trace_tail: int,
+    warm_start_ops: int,
+    config: SystemConfig,
+    workload_kwargs: Dict[str, object],
+) -> List[str]:
+    """Journal keys for every case: campaign-identity digest + slot.
+
+    The digest covers everything that shapes a case's plan or report, so
+    a resumed campaign can only ever be served records produced by an
+    identically-parameterized run.
+    """
+    from repro.parallel.cellspec import canonical_json, config_to_dict
+
+    identity = canonical_json(
+        {
+            "kind": "fault-campaign",
+            "scheme": scheme.value,
+            "workload": workload_name,
+            "mode": mode,
+            "seed": seed,
+            "threads": threads,
+            "crashes": crashes,
+            "max_cycles": max_cycles,
+            "trace_tail": trace_tail,
+            "warm_start_ops": warm_start_ops,
+            "config": config_to_dict(config),
+            "workload_kwargs": sorted(
+                (key, value) for key, value in workload_kwargs.items()
+            ),
+        }
+    )
+    digest = hashlib.sha256(identity.encode("utf-8")).hexdigest()[:16]
+    return [f"faults-{digest}:{index:04d}" for index in range(crashes)]
+
+
 def run_campaign(
     scheme: Union[Scheme, str],
     workload,
@@ -255,6 +338,7 @@ def run_campaign(
     max_cycles: int = 500_000_000,
     trace_tail: int = 0,
     warm_start_ops: int = 0,
+    journal: Optional[SweepJournal] = None,
     **workload_kwargs,
 ) -> CampaignResult:
     """Sweep ``crashes`` planned crash points over one workload run.
@@ -263,6 +347,14 @@ def run_campaign(
     keeps the last ``trace_tail`` cycles of events in each crash's
     :class:`~repro.faults.harness.MachineState`; the report prints the
     pre-crash timeline for every inconsistent case.
+
+    With a ``journal`` attached every case is journaled write-ahead
+    (keyed by a campaign-identity digest plus the case's slot) and a
+    killed campaign resumes without re-running finished cases.  The
+    trigger/plan RNG stream is always drawn in full — skipped cases
+    consume exactly the draws they would have consumed — so executed
+    cases are byte-identical with or without a resume, and the resumed
+    report equals the uninterrupted one.
 
     ``warm_start_ops`` > 0 simulates that many measured ops *once*,
     snapshots the machine at the drained boundary, and launches every
@@ -356,31 +448,69 @@ def run_campaign(
         warm_start_ops=warm_start_ops,
         warm_checkpoint_cycle=cycle_floor,
     )
+    case_keys: List[str] = []
+    if journal is not None:
+        case_keys = _campaign_case_keys(
+            crashes, scheme, workload_cls.name, mode, seed, threads,
+            max_cycles, trace_tail, warm_start_ops, config, workload_kwargs,
+        )
+        journal.begin(
+            (key, {"campaign": f"{scheme.value}/{workload_cls.name}/{mode}",
+                   "case": index})
+            for index, key in enumerate(case_keys)
+        )
+
     for index in range(crashes):
+        # Always drawn, even for journal-served cases: every case must
+        # consume its exact RNG budget or resumed campaigns would shift
+        # the plans of everything after the first skipped case.
         trigger = _make_trigger(
             rng, index, total_cycles, counts, mode, cycle_floor=cycle_floor
         )
         plan = _make_plan(
             mode, rng, trigger, data_drains, config.memory.banks, total_cycles
         )
+        if journal is not None:
+            payload = journal.done_payload(case_keys[index])
+            if payload is not None:
+                try:
+                    result.replayed.append(
+                        ReplayedCase(
+                            index=index,
+                            outcome=str(payload["outcome"]),
+                            lines=[str(line) for line in payload["lines"]],
+                        )
+                    )
+                    continue
+                except (KeyError, TypeError):
+                    pass  # damaged record: determinism makes a re-run safe
+            journal.mark_running(case_keys[index], 1)
         # Manufactured log/flag drops *should* trip the log-before-data
         # invariant; keep building the image so detection surfaces from
         # recovery checking rather than image construction.
         enforce = not (plan.drop_log_every or plan.drop_flag_every)
         # Fresh ring per case: MachineState keeps only this crash's tail.
         tracer = Tracer(capacity=4096) if trace_tail > 0 else None
-        result.cases.append(
-            run_crash_case(
-                scheme,
-                traces,
-                models,
-                plan,
-                config=config,
-                enforce_invariant=enforce,
-                max_cycles=max_cycles,
-                tracer=tracer,
-                trace_tail_cycles=trace_tail,
-                base_snapshot=snapshot,
-            )
+        case = run_crash_case(
+            scheme,
+            traces,
+            models,
+            plan,
+            config=config,
+            enforce_invariant=enforce,
+            max_cycles=max_cycles,
+            tracer=tracer,
+            trace_tail_cycles=trace_tail,
+            base_snapshot=snapshot,
         )
+        result.cases.append(case)
+        result.case_indices.append(index)
+        if journal is not None:
+            journal.mark_done(
+                case_keys[index],
+                {
+                    "outcome": case.outcome,
+                    "lines": result.case_report_lines(index, case),
+                },
+            )
     return result

@@ -8,6 +8,13 @@ of (machine configuration, scheme, workload trace identity, code
 version).  Unchanged cells load instead of re-simulating; results are
 byte-identical either way.  See ``docs/architecture.md`` ("Parallel
 sweep runner") for the design and determinism guarantees.
+
+Crash safety rides on three further pieces (``docs/resilience.md``): the
+write-ahead :class:`SweepJournal` makes any campaign resumable after a
+kill at any instant, :func:`run_resilient` heals crashed/stuck workers
+and quarantines poison cells instead of aborting, and
+:mod:`repro.parallel.chaos` is the seeded fault-injection harness that
+proves both under deliberately hostile conditions.
 """
 
 from repro.parallel.cache import DEFAULT_CACHE_DIR, ResultCache, default_cache_dir
@@ -22,6 +29,28 @@ from repro.parallel.cellspec import (
     repo_code_version,
     result_bytes,
     result_to_payload,
+)
+from repro.parallel.chaos import (
+    ChaosCampaignResult,
+    ChaosRoundResult,
+    ChaosSettings,
+    run_chaos_campaign,
+)
+from repro.parallel.journal import (
+    JOURNAL_SCHEMA_VERSION,
+    JournalEntry,
+    JournalError,
+    JournalVersionError,
+    SweepJournal,
+)
+from repro.parallel.resilience import (
+    CellOutcome,
+    QuarantineRecord,
+    ResilienceConfig,
+    SweepExecutionError,
+    last_run_report,
+    resilient_map,
+    run_resilient,
 )
 from repro.parallel.runner import (
     SweepRunner,
@@ -38,9 +67,21 @@ from repro.parallel.runner import (
 __all__ = [
     "CACHE_SCHEMA_VERSION",
     "DEFAULT_CACHE_DIR",
+    "JOURNAL_SCHEMA_VERSION",
+    "CellOutcome",
     "CellSpec",
+    "ChaosCampaignResult",
+    "ChaosRoundResult",
+    "ChaosSettings",
+    "JournalEntry",
+    "JournalError",
+    "JournalVersionError",
+    "QuarantineRecord",
+    "ResilienceConfig",
     "ResultCache",
     "SWEEP_WORKLOADS",
+    "SweepExecutionError",
+    "SweepJournal",
     "SweepRunner",
     "canonical_json",
     "config_from_dict",
@@ -51,11 +92,15 @@ __all__ = [
     "execute_cell",
     "generate_traces_cached",
     "get_default_runner",
+    "last_run_report",
     "parallel_map",
     "payload_to_result",
     "repo_code_version",
+    "resilient_map",
     "result_bytes",
     "result_to_payload",
+    "run_chaos_campaign",
+    "run_resilient",
     "set_default_runner",
     "traces_for",
 ]

@@ -12,8 +12,13 @@ in ``tests/test_result_cache.py`` hold this line).
 Robustness contract: a corrupted, truncated, or foreign cache file is a
 *miss*, never an error — the cell falls back to simulation and the bad
 file is overwritten by the fresh result.  Writes are atomic (temp file +
-``os.replace``) so a crashed run cannot leave a half-written entry that
-poisons the next one.
+``os.replace``) with a pid-tagged temp name, so concurrent writers can
+never collide and a crashed writer's orphaned ``.tmp-*`` files are swept
+on the next cache construction.  Store failures (disk full, read-only
+directory, permissions) **degrade** the cache instead of aborting the
+sweep: one warning is emitted and entries written after that point live
+in an in-process memory overlay — the sweep completes, results are still
+byte-identical, only persistence is lost.
 """
 
 from __future__ import annotations
@@ -21,8 +26,9 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import warnings
 from pathlib import Path
-from typing import Optional, Union
+from typing import Dict, Optional, Union
 
 from repro.parallel.cellspec import (
     CellSpec,
@@ -37,10 +43,26 @@ from repro.sim.simulator import SimResult
 #: environment variable or the ``--cache-dir`` CLI flag).
 DEFAULT_CACHE_DIR = ".repro-cache"
 
+#: Atomic-write temp files: ``.tmp-<pid>-<random>`` under the entry's
+#: fan-out directory.  The pid makes concurrent writers collision-proof
+#: and lets startup cleanup distinguish live writers from dead ones.
+_TMP_MARKER = ".tmp-"
+
 
 def default_cache_dir() -> Path:
     """Resolve the default cache directory for this invocation."""
     return Path(os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR))
+
+
+def _pid_alive(pid: int) -> bool:
+    """Best-effort liveness check for an orphan-cleanup candidate."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except OSError:
+        return True  # EPERM and friends: something owns that pid
+    return True
 
 
 class ResultCache:
@@ -59,6 +81,11 @@ class ResultCache:
         self.misses = 0
         self.corrupt = 0
         self.stores = 0
+        #: True once a store has failed and the memory overlay took over.
+        self.degraded = False
+        self.orphans_removed = 0
+        self._memory: Dict[str, str] = {}
+        self._clean_orphans()
 
     # -- key / path --------------------------------------------------------
 
@@ -70,16 +97,83 @@ class ResultCache:
         digest = self.digest(spec)
         return self.root / digest[:2] / f"{digest}.json"
 
+    # -- degradation / atomic writes ---------------------------------------
+
+    def _degrade(self, error: OSError) -> None:
+        """Flip to memory-overlay mode (once, with a single warning)."""
+        if not self.degraded:
+            self.degraded = True
+            warnings.warn(
+                f"result cache at {self.root} is not writable "
+                f"({error.__class__.__name__}: {error}); continuing with an "
+                f"in-memory overlay — results from this run will not persist",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+
+    def _write_atomic(self, path: Path, payload: str) -> bool:
+        """Atomic temp-file write; False (and degrade) on any I/O error."""
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                dir=str(path.parent),
+                prefix=f"{_TMP_MARKER}{os.getpid()}-",
+                suffix=".json",
+            )
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    handle.write(payload)
+                os.replace(tmp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+        except OSError as error:
+            # Disk full, read-only directory, permissions, a file where
+            # the directory should be: the cache is best-effort — degrade
+            # to the memory overlay rather than abort the sweep.
+            self._degrade(error)
+            return False
+        return True
+
+    def _clean_orphans(self) -> None:
+        """Sweep ``.tmp-*`` files abandoned by dead writers."""
+        try:
+            candidates = list(self.root.glob(f"*/{_TMP_MARKER}*"))
+        except OSError:
+            return
+        for candidate in candidates:
+            parts = candidate.name[len(_TMP_MARKER):].split("-", 1)
+            try:
+                pid = int(parts[0])
+            except (ValueError, IndexError):
+                pid = -1
+            if pid > 0 and pid != os.getpid() and _pid_alive(pid):
+                continue  # a live concurrent writer owns this temp file
+            if pid == os.getpid():
+                continue  # our own in-flight write (shared-cache reopen)
+            try:
+                candidate.unlink()
+                self.orphans_removed += 1
+            except OSError:
+                pass
+
     # -- load / store ------------------------------------------------------
 
     def load(self, spec: CellSpec) -> Optional[SimResult]:
         """Return the cached result, or ``None`` on miss/corruption."""
-        path = self.path_for(spec)
+        digest = self.digest(spec)
+        path = self.root / digest[:2] / f"{digest}.json"
+        raw: Optional[str]
         try:
             raw = path.read_text()
         except OSError:
-            self.misses += 1
-            return None
+            raw = self._memory.get(digest)
+            if raw is None:
+                self.misses += 1
+                return None
         try:
             result = payload_to_result(json.loads(raw))
         except (ValueError, KeyError, TypeError):
@@ -92,27 +186,18 @@ class ResultCache:
         return result
 
     def store(self, spec: CellSpec, result: SimResult) -> None:
-        """Persist a result atomically; I/O failures are non-fatal."""
-        path = self.path_for(spec)
+        """Persist a result atomically; I/O failures are non-fatal.
+
+        On failure the entry is kept in the in-process memory overlay
+        (``stores`` counts durable writes only).
+        """
+        digest = self.digest(spec)
+        path = self.root / digest[:2] / f"{digest}.json"
         payload = canonical_json(result_to_payload(result))
-        try:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            fd, tmp_name = tempfile.mkstemp(
-                dir=str(path.parent), prefix=".tmp-", suffix=".json"
-            )
-            try:
-                with os.fdopen(fd, "w") as handle:
-                    handle.write(payload)
-                os.replace(tmp_name, path)
-            except BaseException:
-                try:
-                    os.unlink(tmp_name)
-                except OSError:
-                    pass
-                raise
-        except OSError:  # cache is best-effort; the result is still returned
-            return
-        self.stores += 1
+        if self._write_atomic(path, payload):
+            self.stores += 1
+        else:
+            self._memory[digest] = payload
 
     # -- raw blob storage --------------------------------------------------
     #
@@ -130,36 +215,30 @@ class ResultCache:
         try:
             return self.blob_path(digest, kind).read_text()
         except OSError:
-            return None
+            return self._memory.get(f"{digest}.{kind}")
 
     def store_blob(self, digest: str, kind: str, payload: str) -> bool:
-        """Persist a blob atomically; returns False on (non-fatal) IO error."""
-        path = self.blob_path(digest, kind)
-        try:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            fd, tmp_name = tempfile.mkstemp(
-                dir=str(path.parent), prefix=".tmp-", suffix=".json"
-            )
-            try:
-                with os.fdopen(fd, "w") as handle:
-                    handle.write(payload)
-                os.replace(tmp_name, path)
-            except BaseException:
-                try:
-                    os.unlink(tmp_name)
-                except OSError:
-                    pass
-                raise
-        except OSError:
-            return False
-        return True
+        """Persist a blob atomically; returns False on (non-fatal) IO error.
+
+        Failed writes land in the memory overlay so the blob is still
+        readable for the rest of this process's lifetime.
+        """
+        if self._write_atomic(self.blob_path(digest, kind), payload):
+            return True
+        self._memory[f"{digest}.{kind}"] = payload
+        return False
 
     # -- reporting ---------------------------------------------------------
 
     def describe(self) -> str:
         version = self.code_version or repo_code_version()
-        return (
+        text = (
             f"cache {self.root} (code {version[:12]}): "
             f"{self.hits} hit(s), {self.misses} miss(es), "
             f"{self.corrupt} corrupt, {self.stores} stored"
         )
+        if self.degraded:
+            text += f" [DEGRADED: {len(self._memory)} entry(ies) memory-only]"
+        if self.orphans_removed:
+            text += f"; {self.orphans_removed} orphaned temp file(s) removed"
+        return text

@@ -40,6 +40,14 @@ from repro.parallel.cellspec import (
     payload_to_result,
     result_to_payload,
 )
+from repro.parallel.journal import SweepJournal
+from repro.parallel.resilience import (
+    QuarantineRecord,
+    ResilienceConfig,
+    last_run_report,
+    pool_worker_init,
+    run_resilient,
+)
 from repro.sim.simulator import SimResult, run_trace
 from repro.workloads.base import generate_traces
 
@@ -105,8 +113,24 @@ def _simulate_cell_payload(spec_data: Dict[str, Any]) -> Dict[str, Any]:
     result payload crosses back out — no live simulator objects are ever
     pickled, and each cell gets a process-fresh engine/stats/tracer.
     """
+    if os.environ.get("REPRO_CHAOS_PLAN"):
+        # Chaos harness hook (no-op unless a plan is exported): lets the
+        # chaos campaign kill/hang/fail this worker for selected cells.
+        from repro.parallel.chaos import apply_chaos_directive
+
+        apply_chaos_directive(spec_data)
     spec = CellSpec.from_dict(spec_data)
     return result_to_payload(execute_cell(spec))
+
+
+def _checked_payload(payload: Any) -> Dict[str, Any]:
+    """Journal-payload decoder: validate a recorded result payload.
+
+    Raises ``ValueError``/``KeyError``/``TypeError`` on a damaged
+    payload (the resilient executor then re-runs the cell).
+    """
+    payload_to_result(payload)
+    return dict(payload)
 
 
 def default_jobs() -> int:
@@ -118,30 +142,52 @@ def default_jobs() -> int:
 
 
 class SweepRunner:
-    """Execute batches of sweep cells with memoization and caching."""
+    """Execute batches of sweep cells with memoization and caching.
+
+    With a :class:`~repro.parallel.journal.SweepJournal` attached, every
+    cell's lifecycle is journaled write-ahead and finished cells are
+    served from the journal on resume — independently of the result
+    cache surviving.  With a :class:`ResilienceConfig` attached (or any
+    journal), execution goes through the self-healing pool in
+    :mod:`repro.parallel.resilience`: per-cell timeouts, retries with
+    backoff, worker-crash recovery, and poison-cell quarantine.
+    Quarantined cells come back as ``None`` in :meth:`run_cells` (and
+    are listed in :attr:`quarantined`); without quarantine the legacy
+    fail-fast behavior is unchanged.
+    """
 
     def __init__(
         self,
         jobs: int = 1,
         cache: Optional[ResultCache] = None,
+        resilience: Optional[ResilienceConfig] = None,
+        journal: Optional[SweepJournal] = None,
     ) -> None:
         self.jobs = max(1, jobs)
         self.cache = cache
+        self.resilience = resilience
+        self.journal = journal
         self._memo: Dict[str, SimResult] = {}
         self.simulated = 0
         self.memo_hits = 0
         self.sampled = 0
+        self.journal_hits = 0
+        self.retried = 0
+        self.pool_rebuilds = 0
+        self.quarantined: List[QuarantineRecord] = []
         self._checkpoints: Optional[Any] = None  # lazy CheckpointStore
 
     # -- batch execution ---------------------------------------------------
 
-    def run_cells(self, specs: Sequence[CellSpec]) -> List[SimResult]:
+    def run_cells(self, specs: Sequence[CellSpec]) -> List[Optional[SimResult]]:
         """Run (or fetch) every cell; returns results aligned with ``specs``.
 
-        Duplicate cells within a batch are executed once.
+        Duplicate cells within a batch are executed once.  Entries are
+        ``None`` only for quarantined cells (which requires a resilience
+        config or journal to be attached).
         """
         keys = [canonical_json(spec.describe()) for spec in specs]
-        resolved: Dict[str, SimResult] = {}
+        resolved: Dict[str, Optional[SimResult]] = {}
         pending: List[Tuple[str, CellSpec]] = []
         seen_pending: Set[str] = set()
         for key, spec in zip(keys, specs):
@@ -151,7 +197,7 @@ class SweepRunner:
                 continue
             if key in resolved or key in seen_pending:
                 continue
-            if self.cache is not None:
+            if self.cache is not None and self.journal is None:
                 cached = self.cache.load(spec)
                 if cached is not None:
                     resolved[key] = cached
@@ -160,17 +206,28 @@ class SweepRunner:
             pending.append((key, spec))
 
         for key, spec, result in self._execute(pending):
-            if self.cache is not None:
+            if result is not None and self.cache is not None:
                 self.cache.store(spec, result)
             resolved[key] = result
 
         for key in resolved:
-            self._memo.setdefault(key, resolved[key])
-        return [self._memo[key] for key in keys]
+            result = resolved[key]
+            if result is not None:
+                self._memo.setdefault(key, result)
+        return [
+            self._memo[key] if key in self._memo else resolved[key]
+            for key in keys
+        ]
 
     def run_one(self, spec: CellSpec) -> SimResult:
-        """Run (or fetch) a single cell."""
-        return self.run_cells([spec])[0]
+        """Run (or fetch) a single cell; raises if it was quarantined."""
+        result = self.run_cells([spec])[0]
+        if result is None:
+            raise RuntimeError(
+                f"cell {spec.workload}/{spec.scheme.value} is quarantined "
+                f"(see runner.quarantined for the recorded error)"
+            )
+        return result
 
     def run_sampled(
         self,
@@ -208,25 +265,99 @@ class SweepRunner:
 
     def _execute(
         self, pending: Sequence[Tuple[str, CellSpec]]
-    ) -> List[Tuple[str, CellSpec, SimResult]]:
+    ) -> List[Tuple[str, CellSpec, Optional[SimResult]]]:
         if not pending:
             return []
+        if self.resilience is not None or self.journal is not None:
+            return self._execute_resilient(pending)
         self.simulated += len(pending)
         if self.jobs > 1 and len(pending) > 1:
-            with ProcessPoolExecutor(
-                max_workers=min(self.jobs, len(pending))
-            ) as pool:
-                payloads = list(
-                    pool.map(
-                        _simulate_cell_payload,
-                        [spec.to_dict() for _, spec in pending],
-                    )
-                )
+            pool = ProcessPoolExecutor(
+                max_workers=min(self.jobs, len(pending)),
+                initializer=pool_worker_init,
+            )
+            futures = [
+                pool.submit(_simulate_cell_payload, spec.to_dict())
+                for _, spec in pending
+            ]
+            try:
+                payloads = [future.result() for future in futures]
+            except BaseException:
+                # Propagate KeyboardInterrupt (and any other failure)
+                # promptly: queued cells are cancelled instead of run,
+                # and we do not wait out in-flight ones.
+                pool.shutdown(wait=False, cancel_futures=True)
+                raise
+            pool.shutdown(wait=True)
             return [
                 (key, spec, payload_to_result(payload))
                 for (key, spec), payload in zip(pending, payloads)
             ]
         return [(key, spec, execute_cell(spec)) for key, spec in pending]
+
+    def _execute_resilient(
+        self, pending: Sequence[Tuple[str, CellSpec]]
+    ) -> List[Tuple[str, CellSpec, Optional[SimResult]]]:
+        """Run pending cells through the self-healing executor."""
+        config = self.resilience if self.resilience is not None else ResilienceConfig()
+        journal = self.journal
+        code_version = (
+            journal.code_version
+            if journal is not None
+            else (self.cache.code_version if self.cache is not None else None)
+        )
+        digests = {
+            key: spec.digest(code_version=code_version) for key, spec in pending
+        }
+        backfilled: Set[str] = set()
+        if journal is not None:
+            journal.begin(
+                (digests[key], spec.describe()) for key, spec in pending
+            )
+            # Cache pre-pass: a cache hit becomes a journal done-record,
+            # so from here on the journal alone carries the sweep state.
+            if self.cache is not None:
+                for key, spec in pending:
+                    digest = digests[key]
+                    if journal.status(digest) in ("done", "quarantined"):
+                        continue
+                    cached = self.cache.load(spec)
+                    if cached is not None:
+                        journal.mark_done(digest, result_to_payload(cached))
+                        backfilled.add(digest)
+
+        outcomes = run_resilient(
+            _simulate_cell_payload,
+            [(digests[key], spec.to_dict()) for key, spec in pending],
+            jobs=self.jobs,
+            config=config,
+            journal=journal,
+            decode=_checked_payload,
+            descriptions={
+                digests[key]: spec.describe() for key, spec in pending
+            },
+        )
+        report = last_run_report()
+        self.retried += report.retried
+        self.pool_rebuilds += report.pool_rebuilds
+        known = {record.key for record in self.quarantined}
+        self.quarantined.extend(
+            record for record in report.quarantined if record.key not in known
+        )
+
+        results: List[Tuple[str, CellSpec, Optional[SimResult]]] = []
+        for key, spec in pending:
+            outcome = outcomes[digests[key]]
+            if outcome.status != "done":
+                results.append((key, spec, None))
+                continue
+            if outcome.from_journal:
+                if digests[key] not in backfilled:
+                    self.journal_hits += 1
+            else:
+                self.simulated += 1
+            results.append((key, spec, payload_to_result(outcome.value)))
+        return results
 
     # -- reporting ---------------------------------------------------------
 
@@ -237,11 +368,27 @@ class SweepRunner:
         ]
         if self.sampled:
             parts[0] += f", {self.sampled} sampled"
+        if self.journal_hits:
+            parts[0] += f", {self.journal_hits} journal hit(s)"
+        if self.retried:
+            parts[0] += f", {self.retried} retried"
+        if self.pool_rebuilds:
+            parts[0] += f", {self.pool_rebuilds} pool rebuild(s)"
+        if self.quarantined:
+            parts[0] += f", {len(self.quarantined)} quarantined"
+        if self.resilience is not None:
+            parts.append(f"resilience: {self.resilience.describe()}")
+        if self.journal is not None:
+            parts.append(self.journal.describe())
         if self.cache is not None:
             parts.append(self.cache.describe())
         if self._checkpoints is not None:
             parts.append(self._checkpoints.describe())
         return "; ".join(parts)
+
+    def quarantine_notes(self) -> List[str]:
+        """Human-readable lines describing quarantined cells (may be [])."""
+        return [record.summary() for record in self.quarantined]
 
 
 # ---------------------------------------------------------------------------
@@ -283,15 +430,32 @@ def configure_default_runner(
     jobs: Optional[int] = None,
     cache_dir: Optional[str] = None,
     no_cache: bool = False,
+    journal: Optional[SweepJournal] = None,
+    cell_timeout: Optional[float] = None,
+    max_retries: Optional[int] = None,
 ) -> SweepRunner:
     """Build and install a runner from CLI-style options.
 
     The CLI default is cache *on* (at :func:`default_cache_dir`);
-    ``no_cache`` turns it off, ``cache_dir`` relocates it.
+    ``no_cache`` turns it off, ``cache_dir`` relocates it.  Passing a
+    journal or any resilience knob routes execution through the
+    self-healing pool (retries, timeouts, quarantine, crash recovery).
     """
     cache = None if no_cache else ResultCache(cache_dir or default_cache_dir())
+    resilience: Optional[ResilienceConfig] = None
+    if cell_timeout is not None or max_retries is not None or journal is not None:
+        defaults = ResilienceConfig()
+        resilience = ResilienceConfig(
+            cell_timeout=cell_timeout,
+            max_retries=(
+                max_retries if max_retries is not None else defaults.max_retries
+            ),
+        )
     runner = SweepRunner(
-        jobs=default_jobs() if jobs is None else jobs, cache=cache
+        jobs=default_jobs() if jobs is None else jobs,
+        cache=cache,
+        resilience=resilience,
+        journal=journal,
     )
     set_default_runner(runner)
     return runner
@@ -312,8 +476,21 @@ def parallel_map(
     ``function`` must be a module-level callable and items/results must
     be picklable (they cross the process boundary).  With ``jobs <= 1``
     this is a plain in-process map with identical semantics.
+
+    A failure (including KeyboardInterrupt) propagates promptly: queued
+    items are cancelled rather than run, and in-flight items are not
+    waited out before the exception reaches the caller.
     """
     if jobs <= 1 or len(items) <= 1:
         return [function(item) for item in items]
-    with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as pool:
-        return list(pool.map(function, items))
+    pool = ProcessPoolExecutor(
+        max_workers=min(jobs, len(items)), initializer=pool_worker_init
+    )
+    futures = [pool.submit(function, item) for item in items]
+    try:
+        results = [future.result() for future in futures]
+    except BaseException:
+        pool.shutdown(wait=False, cancel_futures=True)
+        raise
+    pool.shutdown(wait=True)
+    return results

@@ -1,0 +1,131 @@
+"""Cache robustness tests: graceful degradation to the memory overlay,
+collision-proof atomic writes, and orphaned temp-file cleanup.
+
+``tests/test_result_cache.py`` covers the hit/miss/byte-identity
+contract; this file covers what happens when the *disk* misbehaves — a
+blocked or read-only cache path, writers that die mid-write, and many
+writers racing on one directory.
+"""
+
+import os
+import subprocess
+import sys
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.core.schemes import Scheme
+from repro.parallel import CellSpec, ResultCache, SweepRunner, result_bytes
+from repro.sim.config import fast_nvm_config
+
+TINY = dict(threads=1, seed=3, init_ops=200, sim_ops=6)
+
+
+def tiny_spec(workload="QE"):
+    return CellSpec(
+        workload=workload,
+        scheme=Scheme.PROTEUS,
+        config=fast_nvm_config(cores=1),
+        **TINY,
+    )
+
+
+def blocked_cache(tmp_path):
+    """A cache whose directory can never be created (a file sits there)."""
+    blocker = tmp_path / "blocked"
+    blocker.write_text("a file where the cache directory should go")
+    return ResultCache(blocker / "cache", code_version="v1")
+
+
+def test_blocked_dir_degrades_with_single_warning(tmp_path):
+    cache = blocked_cache(tmp_path)
+    spec = tiny_spec()
+    result = SweepRunner(jobs=1).run_one(spec)
+
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        cache.store(spec, result)
+        cache.store(tiny_spec("HM"), SweepRunner(jobs=1).run_one(tiny_spec("HM")))
+        assert not cache.store_blob("d" * 40, "ckpt", "{}")
+    degradations = [w for w in caught if issubclass(w.category, RuntimeWarning)]
+    assert len(degradations) == 1  # one warning, no matter how many failures
+    assert "in-memory overlay" in str(degradations[0].message)
+    assert cache.degraded
+    assert cache.stores == 0
+    assert "DEGRADED" in cache.describe()
+
+
+def test_degraded_cache_still_serves_hits_in_process(tmp_path):
+    cache = blocked_cache(tmp_path)
+    spec = tiny_spec()
+    result = SweepRunner(jobs=1).run_one(spec)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        cache.store(spec, result)
+    loaded = cache.load(spec)
+    assert loaded is not None
+    assert result_bytes(loaded) == result_bytes(result)
+    assert cache.load_blob("d" * 40, "ckpt") is None
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        cache.store_blob("d" * 40, "ckpt", '{"a": 1}')
+    assert cache.load_blob("d" * 40, "ckpt") == '{"a": 1}'
+
+
+def test_degraded_sweep_still_byte_identical(tmp_path):
+    spec = tiny_spec()
+    healthy = SweepRunner(jobs=1, cache=ResultCache(tmp_path / "ok", code_version="v1"))
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        degraded = SweepRunner(jobs=1, cache=blocked_cache(tmp_path))
+        assert result_bytes(degraded.run_one(spec)) == result_bytes(
+            healthy.run_one(spec)
+        )
+
+
+def test_orphan_cleanup_removes_dead_writers_temp_files(tmp_path):
+    fanout = tmp_path / "ab"
+    fanout.mkdir(parents=True)
+    # A writer that no longer exists: spawn a process, let it exit, and
+    # reuse its (now definitely dead) pid.
+    proc = subprocess.run([sys.executable, "-c", "import os; print(os.getpid())"],
+                          capture_output=True, text=True, check=True)
+    dead_pid = int(proc.stdout.strip())
+    dead = fanout / f".tmp-{dead_pid}-abc.json"
+    dead.write_text("{}")
+    mine = fanout / f".tmp-{os.getpid()}-def.json"
+    mine.write_text("{}")
+    unparsable = fanout / ".tmp-notapid.json"
+    unparsable.write_text("{}")
+
+    cache = ResultCache(tmp_path, code_version="v1")
+    assert not dead.exists()
+    assert mine.exists()  # our own in-flight write is never swept
+    assert not unparsable.exists()
+    assert cache.orphans_removed == 2
+
+
+def _store_blob_worker(args):
+    root, digest, payload = args
+    cache = ResultCache(root, code_version="v1")
+    return cache.store_blob(digest, "stress", payload)
+
+
+def test_concurrent_writers_never_collide(tmp_path):
+    """Many processes writing the same entries: last write wins cleanly.
+
+    The pid-tagged temp names make the atomic-rename dance safe under
+    concurrency — no torn files, no leftover temp files from completed
+    writers, every entry readable afterwards.
+    """
+    digests = [f"{i:02d}" + "e" * 38 for i in range(4)]
+    payload = '{"stress": true}'
+    jobs = [(str(tmp_path), digest, payload) for digest in digests] * 6
+    with ProcessPoolExecutor(max_workers=4) as pool:
+        results = list(pool.map(_store_blob_worker, jobs))
+    assert all(results)
+
+    cache = ResultCache(tmp_path, code_version="v1")
+    for digest in digests:
+        assert cache.load_blob(digest, "stress") == payload
+    leftovers = list(tmp_path.glob("*/.tmp-*"))
+    assert leftovers == []

@@ -87,3 +87,47 @@ def test_faults_subcommand(capsys):
 def test_missing_subcommand_rejected():
     with pytest.raises(SystemExit):
         main([])
+
+
+def test_faults_journal_resume_roundtrip(tmp_path, capsys):
+    journal = tmp_path / "faults.jsonl"
+    argv = ["faults", "--scheme", "proteus", "--workload", "queue",
+            "--crashes", "8", "--seed", "7"]
+    assert main(argv + ["--journal", str(journal)]) == 0
+    first = capsys.readouterr().out
+    assert journal.exists()
+
+    # Resuming a finished campaign replays every case and re-runs none,
+    # and the report is byte-identical.
+    assert main(argv + ["--journal", str(journal), "--resume"]) == 0
+    second = capsys.readouterr().out
+    assert second == first
+
+
+def test_journal_without_resume_refuses_existing_file(tmp_path, capsys):
+    journal = tmp_path / "faults.jsonl"
+    argv = ["faults", "--scheme", "proteus", "--workload", "queue",
+            "--crashes", "4", "--seed", "7", "--journal", str(journal)]
+    assert main(argv) == 0
+    capsys.readouterr()
+    assert main(argv) == 2  # same argv, no --resume: refuse, don't mix
+    err = capsys.readouterr().err
+    assert "--resume" in err
+
+
+def test_resume_alone_derives_journal_under_cache_dir(tmp_path, capsys):
+    argv = ["experiment", "table4", "--threads", "1", "--scale", "0.05",
+            "--cache-dir", str(tmp_path / "cache"), "--resume"]
+    assert main(argv) == 0
+    derived = tmp_path / "cache" / "journal-experiment-table4.jsonl"
+    assert derived.exists()
+    first = capsys.readouterr().out
+
+    assert main(argv) == 0
+    second = capsys.readouterr().out
+    # The results are identical; only the runner-stats footer differs
+    # (the resumed run serves every cell from the journal).
+    table = lambda out: out.split("runner jobs=")[0]
+    assert table(second) == table(first)
+    assert "0 simulated" in second
+    assert "journal hit(s)" in second
