@@ -39,6 +39,11 @@ Crash-safety comparison (``repro.parallel.resilience``):
 undisturbed serial, a journaled run interrupted halfway, and the resume
 that finishes it — verifying the resume executes only the leftover
 cells and the recovered results are byte-identical to the serial pass.
+
+Model-checker cost (``repro.verify``): ``--compare-verify`` runs the
+crash-state checker over one workload per failure-safe scheme and
+records crash-point/frontier counts, coverage, and wall time per
+scheme, so checker state-space growth shows up in the trajectory.
 """
 
 from __future__ import annotations
@@ -346,6 +351,46 @@ def compare_sampling(threads: int, seed: int) -> dict:
     return {"params": params.to_dict(), "workloads": records}
 
 
+def compare_verify(seed: int, budget=None) -> dict:
+    """Model-check one workload per failure-safe scheme; record the
+    state-space size (crash points, frontiers) and wall time per scheme
+    so checker cost growth is visible in the trajectory."""
+    from repro.verify import verify_workload
+    from repro.analysis.verifysweep import verifiable_schemes
+
+    records = []
+    for scheme in verifiable_schemes():
+        start = time.perf_counter()
+        report = verify_workload(
+            scheme, "QE", threads=1, seed=seed,
+            init_ops=12, sim_ops=6, budget=budget,
+        )
+        elapsed = time.perf_counter() - start
+        print(f"  verify[{str(scheme):<14}] {elapsed:8.2f}s  "
+              f"{report.positions} crash points, "
+              f"{report.frontiers_checked} frontiers "
+              f"({'exhaustive' if report.exhaustive else 'budgeted'}) "
+              f"-> {'clean' if report.clean else 'FAIL'}")
+        if not report.clean:
+            print("warning: verify comparison found counterexamples",
+                  file=sys.stderr)
+        records.append(
+            {
+                "scheme": str(report.scheme),
+                "workload": report.workload,
+                "instructions": report.instructions,
+                "crash_points": report.positions,
+                "frontiers_checked": report.frontiers_checked,
+                "frontiers_total": report.frontiers_total,
+                "exhaustive": report.exhaustive,
+                "coverage": round(report.coverage, 6),
+                "findings": len(report.findings),
+                "wall_time_s": round(elapsed, 3),
+            }
+        )
+    return {"budget": budget, "schemes": records}
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_results.json"))
@@ -380,6 +425,14 @@ def main(argv=None) -> int:
     parser.add_argument("--compare-sampling", action="store_true",
                         help="also time full vs sampled simulation on "
                              "two workloads")
+    parser.add_argument("--compare-verify", action="store_true",
+                        help="also model-check one workload per "
+                             "failure-safe scheme, recording frontier "
+                             "counts and wall time")
+    parser.add_argument("--verify-budget", type=int, default=None,
+                        metavar="N",
+                        help="frontier budget for --compare-verify "
+                             "(default: exhaustive)")
     args = parser.parse_args(argv)
 
     from repro.parallel import configure_default_runner
@@ -408,6 +461,9 @@ def main(argv=None) -> int:
     sampling_comparison = None
     if args.compare_sampling:
         sampling_comparison = compare_sampling(1, args.seed)
+    verify_comparison = None
+    if args.compare_verify:
+        verify_comparison = compare_verify(args.seed, args.verify_budget)
     start = time.perf_counter()
     figures = run_figures(args.threads, args.scale, args.seed, args.figures)
     total = time.perf_counter() - start
@@ -441,6 +497,8 @@ def main(argv=None) -> int:
         record["faults_comparison"] = faults_comparison
     if sampling_comparison is not None:
         record["sampling_comparison"] = sampling_comparison
+    if verify_comparison is not None:
+        record["verify_comparison"] = verify_comparison
     doc["runs"].append(record)
     out.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
     print(f"wrote {out} ({len(doc['runs'])} run"

@@ -483,6 +483,77 @@ def cmd_lint(args) -> int:
     return 0
 
 
+def cmd_verify(args) -> int:
+    from repro.analysis.verifysweep import verifiable_schemes, verify_sweep
+    from repro.verify import render_json, render_text, verify_to_sarif
+    from repro.verify.report import VERIFY_RULES
+    from repro.workloads import BENCHMARK_ORDER
+
+    if args.rules:
+        for code in sorted(VERIFY_RULES):
+            level, title = VERIFY_RULES[code]
+            print(f"{code}  {level:<7s} {title}")
+        return 0
+    if args.crossval:
+        from repro.verify import cross_validate
+
+        schemes = (
+            verifiable_schemes()
+            if args.scheme == "all"
+            else [Scheme.parse(args.scheme)]
+        )
+        workload = "QE" if args.benchmark == "all" else args.benchmark
+        ok = True
+        for scheme in schemes:
+            result = cross_validate(
+                scheme, workload, seed=args.seed, budget=args.budget,
+                init_ops=min(args.init, 40), sim_ops=min(args.ops, 8),
+            )
+            print(result.report(), end="")
+            ok = ok and result.static_superset
+        return 0 if ok else 1
+    schemes = None if args.scheme == "all" else [Scheme.parse(args.scheme)]
+    if args.benchmark == "all":
+        workloads = list(BENCHMARK_ORDER)
+    else:
+        from repro.faults.campaign import resolve_workload
+
+        workloads = [resolve_workload(args.benchmark).name]
+    journal = _open_journal(args, "verify")
+    try:
+        sweep = verify_sweep(
+            schemes=schemes,
+            workloads=workloads,
+            threads=args.threads,
+            seed=args.seed,
+            init_ops=args.init,
+            sim_ops=args.ops,
+            budget=args.budget,
+            jobs=args.jobs,
+            resilience=_resilience_config(args),
+            journal=journal,
+        )
+    finally:
+        if journal is not None:
+            journal.close()
+    if args.sarif:
+        import json as _json
+
+        with open(args.sarif, "w") as handle:
+            _json.dump(verify_to_sarif(sweep.results), handle, indent=2)
+        print(f"wrote SARIF report to {args.sarif}")
+    if args.json:
+        print(render_json(sweep.results))
+    elif len(sweep.results) == 1 and not sweep.quarantined:
+        print(render_text(sweep.results[0], verbose=args.verbose))
+    else:
+        print(sweep.report(verbose=args.verbose), end="")
+    if sweep.quarantined:
+        # Uncheckable cells mean the gate's verdict is incomplete.
+        return 1
+    return 0 if sweep.passed else 1
+
+
 def cmd_trace(args) -> int:
     from repro.obs import (
         Tracer,
@@ -789,6 +860,48 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_resilience_args(lint_parser, what="matrix cells")
     lint_parser.set_defaults(func=cmd_lint)
+
+    verify_parser = subparsers.add_parser(
+        "verify",
+        help="model-check every reachable crash state of lowered streams",
+    )
+    verify_parser.add_argument(
+        "--scheme", default="all",
+        help="scheme name or 'all' (default) for every failure-safe scheme",
+    )
+    verify_parser.add_argument(
+        "--workload", "--benchmark", dest="benchmark", default="all",
+        help="paper code, friendly name, or 'all' (default)",
+    )
+    verify_parser.add_argument("--threads", type=int, default=1)
+    verify_parser.add_argument("--ops", type=int, default=6,
+                               help="transactions per thread to check")
+    verify_parser.add_argument("--init", type=int, default=12)
+    verify_parser.add_argument("--seed", type=int, default=42)
+    verify_parser.add_argument(
+        "--budget", type=int, default=None, metavar="N",
+        help="cap frontiers checked per crash point; falls back to "
+             "stratified sampling with an explicit coverage report",
+    )
+    verify_parser.add_argument("--json", action="store_true",
+                               help="emit the stable JSON report")
+    verify_parser.add_argument("--sarif", default=None, metavar="FILE",
+                               help="also write a SARIF 2.1.0 report to FILE")
+    verify_parser.add_argument("--rules", action="store_true",
+                               help="print the rule catalog and exit")
+    verify_parser.add_argument(
+        "--crossval", action="store_true",
+        help="cross-validate the checker against the dynamic fault "
+             "campaign (static must subsume every analog-able mode)",
+    )
+    verify_parser.add_argument("--verbose", action="store_true",
+                               help="print every counterexample in full")
+    verify_parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="check up to N matrix cells in parallel worker processes",
+    )
+    _add_resilience_args(verify_parser, what="matrix cells")
+    verify_parser.set_defaults(func=cmd_verify)
 
     trace_parser = subparsers.add_parser(
         "trace",

@@ -24,8 +24,7 @@ from repro.isa.instructions import CACHE_LINE, FENCE_KINDS
 from repro.isa.trace import OpTrace
 from repro.mem.memctrl import MemoryController
 from repro.obs.tracer import TraceEvent, Tracer
-from repro.persistence.crash import InvariantViolation
-from repro.persistence.recovery import RecoveryError, recover, verify_atomicity
+from repro.persistence.recovery import check_recovery
 from repro.sim.config import SystemConfig, fast_nvm_config
 from repro.sim.engine import SimulationHalted
 from repro.faults.plan import FaultPlan
@@ -346,15 +345,17 @@ def run_crash_case(
     ks: List[int] = []
     detail = ""
     for thread in sorted(models):
-        try:
-            image = tracker.build_crash_image(thread, enforce_invariant=enforce_invariant)
-            recovered = recover(image)
-            ks.append(verify_atomicity(recovered, models[thread].candidates))
-        except (InvariantViolation, RecoveryError) as err:
+        verdict = check_recovery(
+            lambda t=thread: tracker.build_crash_image(
+                t, enforce_invariant=enforce_invariant
+            ),
+            models[thread].candidates,
+        )
+        ks.append(verdict.k)
+        if not verdict.consistent:
             outcome = "inconsistent"
-            ks.append(-1)
             if not detail:
-                detail = f"thread {thread}: {type(err).__name__}: {err}"
+                detail = f"thread {thread}: {verdict.error}"
     return CrashCaseResult(
         plan=plan,
         outcome=outcome,

@@ -45,6 +45,15 @@ from repro.lint.runner import (
     lint_workload,
     lower_for_lint,
 )
+from repro.lint.sarif import (
+    SARIF_SCHEMA,
+    SARIF_VERSION,
+    lint_to_sarif,
+    sarif_log,
+    sarif_result,
+    sarif_run,
+    validate_sarif,
+)
 
 __all__ = [
     "Analyzer",
@@ -60,6 +69,8 @@ __all__ = [
     "RULES",
     "Region",
     "Rule",
+    "SARIF_SCHEMA",
+    "SARIF_VERSION",
     "Severity",
     "TxSpan",
     "WARNING_CODES",
@@ -67,6 +78,7 @@ __all__ = [
     "layout_for_thread",
     "lint_instruction_trace",
     "lint_op_traces",
+    "lint_to_sarif",
     "lint_workload",
     "lower_for_lint",
     "profile_for",
@@ -74,4 +86,8 @@ __all__ = [
     "render_text",
     "result_dict",
     "rule_catalog",
+    "sarif_log",
+    "sarif_result",
+    "sarif_run",
+    "validate_sarif",
 ]

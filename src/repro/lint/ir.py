@@ -96,6 +96,32 @@ class LintIR:
                 return span
         return None
 
+    # -- export hooks for downstream consumers (repro.verify) --------------
+
+    def epochs(self) -> List[BasicBlock]:
+        """Persistency epochs of the stream.
+
+        Fence-class instructions delimit persist epochs — nothing
+        persists across a fence out of order — and basic blocks end
+        exactly at fence-class instructions, so the block list *is* the
+        epoch list.  Named accessor so the crash-state model checker
+        (:mod:`repro.verify`) states its frontier canonicalization in
+        epoch terms without re-deriving the partition.
+        """
+        return self.blocks
+
+    def epoch_of(self, index: int) -> int:
+        """Epoch (block) id of instruction ``index``."""
+        return self.block_of[index]
+
+    def fence_positions(self) -> List[int]:
+        """Indices of the fence-class instructions, in stream order."""
+        return [
+            block.terminator
+            for block in self.blocks
+            if block.terminator is not None
+        ]
+
 
 def _build_blocks(trace: InstructionTrace) -> List[BasicBlock]:
     blocks: List[BasicBlock] = []

@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.isa.instructions import Instruction, Kind
+from repro.isa.instructions import FENCE_KINDS, Instruction, Kind
 from repro.isa.trace import InstructionTrace
 
 #: A mutator: correct stream in, buggy stream out.
@@ -195,3 +195,99 @@ def store_outside_tx(trace: InstructionTrace, addr: int = 0x1_0000_1000) -> Inst
     out = rebuild(trace, range(len(trace)))
     out.append(Instruction(Kind.STORE, addr=addr, size=8, txid=0, tag="data"))
     return out
+
+
+# -- crash-state mutators (the verify corpus) -----------------------------------
+#
+# These manufacture bugs whose *shape* can be perfectly legal — every
+# fence, flush and log write still present and ordered — but whose
+# *values* leave a reachable crash state recovery cannot repair.  They
+# exist to prove the model checker (:mod:`repro.verify`) sees strictly
+# more than pattern-local lint rules can.
+
+
+def corrupt_sw_log_payload(
+    trace: InstructionTrace, nth: int = 1, value: int = 0xDEAD_BEEF
+) -> InstructionTrace:
+    """Corrupt the ``nth`` software log-copy store's payload.
+
+    The lowered log copy stores ``value=None`` (the payload comes from
+    the paired load of the data line); overriding it with a wrong
+    explicit value leaves the stream's ordering shape untouched — every
+    lint rule still passes — but the undo log now holds a wrong
+    pre-image, so rolling back a crashed transaction restores garbage.
+    Only the crash-state checker catches this.
+    """
+    target = _nth_index(
+        trace,
+        lambda i, ins: ins.kind is Kind.STORE
+        and ins.tag == "log-copy"
+        and ins.value is None,
+        nth,
+    )
+    override = replace(trace[target], value=value)
+    return rebuild(trace, range(len(trace)), overrides={target: override})
+
+
+def drop_sw_log_header(trace: InstructionTrace, nth: int = 1) -> InstructionTrace:
+    """Drop the ``nth`` *covering* software log header store — a torn pair.
+
+    Only headers whose logged data line the same transaction later
+    writes are candidates (conservative logging also copies lines the
+    transaction never touches; tearing one of those is harmless).  The
+    payload persists but the header that names the logged data line
+    never exists, so recovery cannot apply the entry and the covered
+    data store loses its undo coverage (P001 for lint; an unrecoverable
+    frontier for the checker).
+    """
+
+    def covering_header(index: int, ins: Instruction) -> bool:
+        if ins.kind is not Kind.STORE or ins.tag != "log-hdr" or ins.value is None:
+            return False
+        line = ins.value
+        return any(
+            later.kind is Kind.STORE
+            and later.tag == "data"
+            and later.txid == ins.txid
+            and (later.addr & ~63) == line
+            for later in list(trace)[index + 1 :]
+        )
+
+    return drop_nth(trace, covering_header, nth)
+
+
+def defer_clwb_past_commit(trace: InstructionTrace, nth: int = 1) -> InstructionTrace:
+    """Move the ``nth`` data ``clwb`` past its transaction's commit fence.
+
+    The flush still exists — the line does eventually persist — but only
+    in the epoch *after* the commit point (``tx-end``, or the fence
+    sealing the software logFlag clear), so a crash between commit and
+    the stray flush exposes a committed transaction with a missing
+    write: the epoch-spanning persist (P005 for lint; a failing frontier
+    for the checker).
+    """
+    target = _nth_index(
+        trace, lambda i, ins: ins.kind is Kind.CLWB and ins.tag == "", nth
+    )
+    txid = trace[target].txid
+
+    def is_commit(index: int, ins: Instruction) -> bool:
+        if ins.txid != txid or index <= target:
+            return False
+        if ins.kind is Kind.TX_END:
+            return True  # hardware / SSHL commit mark (is its own fence)
+        return (
+            ins.kind is Kind.STORE and ins.tag == "logflag" and ins.value == 0
+        )  # software commit: the logFlag clear
+
+    commit = _nth_index(trace, is_commit, 1)
+    # Past the *fence* that seals the commit, or the move is harmless:
+    # a fence orders every flush issued before it, wherever it sits.
+    fence = commit
+    while trace[fence].kind not in FENCE_KINDS:
+        fence += 1
+        if fence >= len(trace):
+            raise ValueError("commit point is never fenced; nothing to defer past")
+    order = [i for i in range(fence + 1) if i != target] + [target]
+    order += list(range(fence + 1, len(trace)))
+    return rebuild(trace, order)

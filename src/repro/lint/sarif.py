@@ -1,0 +1,295 @@
+"""SARIF 2.1.0 export for the static analyzers.
+
+Both static tools — ``persist-lint`` and the crash-state model checker
+(``repro.verify``) — emit findings anchored to *instruction-stream*
+positions, not files, so results carry SARIF ``logicalLocations``
+(``t<thread>@<index>``) instead of physical file/offset locations.
+Rule ids are the stable diagnostic codes (``P001``…, ``V001``…); SARIF
+consumers can key on them exactly like the JSON reports do.
+
+:func:`validate_sarif` is a hand-rolled structural validator covering
+the subset of the SARIF 2.1.0 schema these exporters produce — the
+toolchain deliberately has no external JSON-schema dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.lint.diagnostics import RULES, LintResult
+
+#: The SARIF spec version these documents declare.
+SARIF_VERSION = "2.1.0"
+
+#: Canonical schema URI for SARIF 2.1.0 documents.
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+#: SARIF result levels the exporters use.
+_LEVELS = ("error", "warning", "note")
+
+
+def logical_location(thread_id: int, index: int) -> Dict[str, Any]:
+    """The instruction-stream location ``t<thread>@<index>``."""
+    return {
+        "logicalLocations": [
+            {
+                "name": f"t{thread_id}@{index}",
+                "kind": "instruction",
+                "fullyQualifiedName": f"thread {thread_id}, instruction {index}",
+            }
+        ]
+    }
+
+
+def sarif_result(
+    rule_id: str,
+    rule_index: int,
+    level: str,
+    message: str,
+    thread_id: int,
+    index: int,
+    properties: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """One SARIF result anchored to an instruction-stream position."""
+    result: Dict[str, Any] = {
+        "ruleId": rule_id,
+        "ruleIndex": rule_index,
+        "level": level,
+        "message": {"text": message},
+        "locations": [logical_location(thread_id, index)],
+    }
+    if properties:
+        result["properties"] = properties
+    return result
+
+
+def sarif_run(
+    tool_name: str,
+    rules: Sequence[Tuple[str, str, str]],
+    results: Sequence[Dict[str, Any]],
+    properties: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """One SARIF run.  ``rules`` is ``(id, level, title)`` per rule, in
+    the order result ``ruleIndex`` values refer to."""
+    run: Dict[str, Any] = {
+        "tool": {
+            "driver": {
+                "name": tool_name,
+                "informationUri": "https://github.com/",
+                "rules": [
+                    {
+                        "id": rule_id,
+                        "shortDescription": {"text": title},
+                        "defaultConfiguration": {"level": level},
+                    }
+                    for rule_id, level, title in rules
+                ],
+            }
+        },
+        "columnKind": "utf16CodeUnits",
+        "results": list(results),
+    }
+    if properties:
+        run["properties"] = properties
+    return run
+
+
+def sarif_log(runs: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
+    """A complete SARIF document."""
+    return {
+        "version": SARIF_VERSION,
+        "$schema": SARIF_SCHEMA,
+        "runs": list(runs),
+    }
+
+
+def lint_to_sarif(results: Sequence[LintResult]) -> Dict[str, Any]:
+    """SARIF document for one or more ``persist-lint`` results (one run
+    per result, all sharing the stable P/W rule catalog)."""
+    codes = sorted(RULES)
+    rules = [
+        (code, str(RULES[code].severity), RULES[code].title) for code in codes
+    ]
+    rule_index = {code: position for position, code in enumerate(codes)}
+    runs = []
+    for result in results:
+        runs.append(
+            sarif_run(
+                "persist-lint",
+                rules,
+                [
+                    sarif_result(
+                        diag.code,
+                        rule_index[diag.code],
+                        str(diag.severity),
+                        diag.message,
+                        diag.thread_id,
+                        diag.index,
+                        properties={
+                            "txid": diag.txid,
+                            "addr": f"{diag.addr:#x}" if diag.addr is not None else None,
+                        },
+                    )
+                    for diag in result.diagnostics
+                ],
+                properties={
+                    "scheme": str(result.scheme),
+                    "workload": result.workload,
+                    "threads": result.threads,
+                    "instructions": result.instructions,
+                },
+            )
+        )
+    return sarif_log(runs)
+
+
+# -- structural validation -------------------------------------------------------
+
+
+def _expect(
+    errors: List[str], condition: bool, where: str, message: str
+) -> bool:
+    if not condition:
+        errors.append(f"{where}: {message}")
+    return condition
+
+
+def validate_sarif(doc: Any) -> List[str]:
+    """Structural errors in a SARIF document (empty list = valid).
+
+    Checks the SARIF 2.1.0 constraints the exporters rely on: version
+    and schema markers, per-run driver metadata, unique rule ids, and —
+    for every result — a registered ``ruleId``, a consistent
+    ``ruleIndex``, a known level, message text, and at least one
+    logical location with a name.
+    """
+    errors: List[str] = []
+    if not _expect(errors, isinstance(doc, dict), "$", "document must be an object"):
+        return errors
+    _expect(
+        errors,
+        doc.get("version") == SARIF_VERSION,
+        "$.version",
+        f"must be {SARIF_VERSION!r}, got {doc.get('version')!r}",
+    )
+    _expect(
+        errors,
+        isinstance(doc.get("$schema"), str),
+        "$.$schema",
+        "missing schema URI",
+    )
+    runs = doc.get("runs")
+    if not _expect(
+        errors, isinstance(runs, list) and len(runs) > 0, "$.runs",
+        "must be a non-empty array",
+    ):
+        return errors
+    for run_at, run in enumerate(runs):
+        where = f"$.runs[{run_at}]"
+        if not _expect(errors, isinstance(run, dict), where, "must be an object"):
+            continue
+        driver = run.get("tool", {}).get("driver") if isinstance(run.get("tool"), dict) else None
+        if not _expect(
+            errors, isinstance(driver, dict), f"{where}.tool.driver",
+            "missing driver object",
+        ):
+            continue
+        _expect(
+            errors,
+            isinstance(driver.get("name"), str) and driver["name"],
+            f"{where}.tool.driver.name",
+            "missing tool name",
+        )
+        rules = driver.get("rules", [])
+        rule_ids: List[str] = []
+        for rule_at, rule in enumerate(rules):
+            rwhere = f"{where}.tool.driver.rules[{rule_at}]"
+            if not _expect(errors, isinstance(rule, dict), rwhere, "must be an object"):
+                continue
+            rule_id = rule.get("id")
+            if _expect(
+                errors, isinstance(rule_id, str) and rule_id, f"{rwhere}.id",
+                "missing rule id",
+            ):
+                rule_ids.append(rule_id)
+            _expect(
+                errors,
+                isinstance(rule.get("shortDescription", {}).get("text"), str),
+                f"{rwhere}.shortDescription.text",
+                "missing rule title",
+            )
+        _expect(
+            errors,
+            len(rule_ids) == len(set(rule_ids)),
+            f"{where}.tool.driver.rules",
+            "rule ids must be unique",
+        )
+        results = run.get("results")
+        if not _expect(
+            errors, isinstance(results, list), f"{where}.results",
+            "must be an array",
+        ):
+            continue
+        for result_at, result in enumerate(results):
+            _validate_result(
+                errors, result, rule_ids, f"{where}.results[{result_at}]"
+            )
+    return errors
+
+
+def _validate_result(
+    errors: List[str], result: Any, rule_ids: List[str], where: str
+) -> None:
+    if not _expect(errors, isinstance(result, dict), where, "must be an object"):
+        return
+    rule_id = result.get("ruleId")
+    _expect(
+        errors,
+        rule_id in rule_ids,
+        f"{where}.ruleId",
+        f"{rule_id!r} is not a registered rule",
+    )
+    rule_index = result.get("ruleIndex")
+    if rule_index is not None:
+        _expect(
+            errors,
+            isinstance(rule_index, int)
+            and 0 <= rule_index < len(rule_ids)
+            and rule_ids[rule_index] == rule_id,
+            f"{where}.ruleIndex",
+            f"{rule_index!r} does not point at rule {rule_id!r}",
+        )
+    _expect(
+        errors,
+        result.get("level") in _LEVELS,
+        f"{where}.level",
+        f"{result.get('level')!r} is not one of {_LEVELS}",
+    )
+    _expect(
+        errors,
+        isinstance(result.get("message", {}).get("text"), str),
+        f"{where}.message.text",
+        "missing message text",
+    )
+    locations = result.get("locations")
+    if not _expect(
+        errors,
+        isinstance(locations, list) and len(locations) > 0,
+        f"{where}.locations",
+        "must be a non-empty array",
+    ):
+        return
+    logical = (
+        locations[0].get("logicalLocations")
+        if isinstance(locations[0], dict)
+        else None
+    )
+    _expect(
+        errors,
+        isinstance(logical, list)
+        and len(logical) > 0
+        and isinstance(logical[0], dict)
+        and isinstance(logical[0].get("name"), str),
+        f"{where}.locations[0].logicalLocations",
+        "missing named logical location",
+    )

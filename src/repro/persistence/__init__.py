@@ -31,6 +31,8 @@ from repro.persistence.model import (
 )
 from repro.persistence.recovery import (
     RecoveryError,
+    RecoveryVerdict,
+    check_recovery,
     recover,
     recovery_cost,
     verify_atomicity,
@@ -45,6 +47,8 @@ __all__ = [
     "LogEntry",
     "Phase",
     "RecoveryError",
+    "RecoveryVerdict",
+    "check_recovery",
     "build_functional_txs",
     "check_trace",
     "check_workload",

@@ -22,14 +22,62 @@ injected invariant violation).
 
 from __future__ import annotations
 
-from typing import Dict, List, Set
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Set, Union
 
-from repro.persistence.crash import CrashImage
+from repro.persistence.crash import CrashImage, InvariantViolation
 from repro.persistence.model import images_equal
 
 
 class RecoveryError(RuntimeError):
     """The durable state could not be restored to a consistent image."""
+
+
+@dataclass(frozen=True)
+class RecoveryVerdict:
+    """Outcome of recovering one crash image and checking atomicity.
+
+    This is the *single* recovery predicate both verification paths
+    share: the dynamic fault campaign (recovering images built from real
+    machine state) and the static model checker (recovering images built
+    from enumerated crash frontiers).  Keeping them on one implementation
+    is what makes the static/dynamic cross-validation meaningful.
+
+    Attributes:
+        consistent: True when recovery restored a durable image equal to
+            some whole number of committed transactions.
+        k: the matched candidate index (``candidates[k]``), or -1 when
+            recovery failed.
+        error: ``""`` on success; otherwise ``"<ExceptionName>: <text>"``
+            — exactly the wording the campaign reports have always used.
+    """
+
+    consistent: bool
+    k: int
+    error: str
+
+
+def check_recovery(
+    image: Union[CrashImage, Callable[[], CrashImage]],
+    candidates: List[Dict[int, int]],
+) -> RecoveryVerdict:
+    """Recover a crash image and verify atomicity, never raising.
+
+    ``image`` may be a ready :class:`CrashImage` or a zero-argument
+    callable building one (image *construction* can itself detect an
+    invariant violation — e.g. data durable before its log — which is a
+    verification failure, not an internal error, so it is folded into
+    the verdict the same way a recovery failure is).
+    """
+    try:
+        built = image() if callable(image) else image
+        recovered = recover(built)
+        k = verify_atomicity(recovered, candidates)
+    except (InvariantViolation, RecoveryError) as err:
+        return RecoveryVerdict(
+            consistent=False, k=-1, error=f"{type(err).__name__}: {err}"
+        )
+    return RecoveryVerdict(consistent=True, k=k, error="")
 
 
 def recover(image: CrashImage) -> Dict[int, int]:

@@ -1,0 +1,212 @@
+"""Reporters for the crash-state model checker.
+
+Counterexamples render as annotated instruction timelines: the window of
+the stream around the crash point, a marker at the crash, stars on the
+writes whose durable exposure (or absence) breaks recovery, and the
+minimal offending frontier spelled out line by line.  JSON follows the
+append-only schema convention of :mod:`repro.lint.report`; SARIF shares
+the exporter in :mod:`repro.lint.sarif`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Sequence
+
+from repro.lint.sarif import sarif_log, sarif_result, sarif_run
+from repro.verify.checker import CheckReport, Deviation, Finding
+
+#: Current JSON schema version for verify reports.
+JSON_SCHEMA_VERSION = 1
+
+#: The checker's stable rule catalog: ``rule id -> (level, title)``.
+VERIFY_RULES: Dict[str, Any] = {
+    "V001": (
+        "error",
+        "unrecoverable crash frontier: recovery cannot restore a "
+        "transaction-consistent image",
+    ),
+    "V002": (
+        "error",
+        "durability-bound violation: recovery succeeds but loses a sealed "
+        "commit or resurrects an uncommitted transaction",
+    ),
+}
+
+
+def _deviation_line(deviation: Deviation) -> str:
+    origin = (
+        f"write @[{deviation.producer}]"
+        if deviation.producer >= 0
+        else "initial image"
+    )
+    return (
+        f"    line {deviation.line:#x} ({deviation.region}): durable prefix "
+        f"v{deviation.version} of v{deviation.floor}(guaranteed)"
+        f"..v{deviation.executed}(executed) — {origin}"
+    )
+
+
+def format_finding(finding: Finding) -> List[str]:
+    """Human-readable block for one counterexample."""
+    lines = [
+        f"{finding.rule} t{finding.thread_id}@{finding.position}: "
+        f"{finding.message}",
+        f"  crash point: {finding.instruction}",
+        f"  commits: sealed={finding.sealed} executed="
+        f"{finding.executed_commits} recovered-to={finding.k}",
+    ]
+    if finding.entries_total:
+        lines.append(
+            f"  durable log prefix: {finding.entry_count} of "
+            f"{finding.entries_total} in-flight entries"
+        )
+    if finding.deviations:
+        lines.append("  minimal offending frontier:")
+        lines.extend(_deviation_line(d) for d in finding.deviations)
+    else:
+        lines.append(
+            "  minimal offending frontier: the guaranteed-durable cut itself"
+        )
+    if finding.timeline:
+        lines.append("  timeline:")
+        lines.extend("  " + row for row in finding.timeline)
+    return lines
+
+
+def render_text(
+    report: CheckReport, verbose: bool = False, max_findings: int = 10
+) -> str:
+    """Human-readable report, ending with an explicit COVERAGE section."""
+    verdict = "clean" if report.clean else "FAIL"
+    plural = "s" if report.threads != 1 else ""
+    lines = [
+        f"persist-verify: {report.scheme} x {report.workload} "
+        f"({report.threads} thread{plural}, {report.instructions} "
+        f"instructions): {len(report.findings)} counterexample(s) -> {verdict}"
+    ]
+    shown = report.findings if verbose else report.findings[:max_findings]
+    for finding in shown:
+        lines.extend(format_finding(finding))
+    hidden = len(report.findings) - len(shown)
+    if hidden > 0:
+        lines.append(f"  ... {hidden} more (use --verbose)")
+    mode = "exhaustive" if report.exhaustive else "budgeted (stratified sampling)"
+    lines.extend(
+        [
+            "COVERAGE:",
+            f"  crash points checked: {report.positions}",
+            f"  frontiers checked: {report.frontiers_checked} of "
+            f"<= {report.frontiers_total} reachable",
+            f"  mode: {mode}; coverage >= {report.coverage:.3f}",
+            f"  wall time: {report.wall_time:.2f}s",
+        ]
+    )
+    return "\n".join(lines)
+
+
+def _finding_dict(finding: Finding) -> Dict[str, Any]:
+    return {
+        "rule": finding.rule,
+        "thread": finding.thread_id,
+        "position": finding.position,
+        "instruction": finding.instruction,
+        "message": finding.message,
+        "k": finding.k,
+        "sealed_commits": finding.sealed,
+        "executed_commits": finding.executed_commits,
+        "entry_count": finding.entry_count,
+        "entries_total": finding.entries_total,
+        "deviations": [
+            {
+                "line": f"{d.line:#x}",
+                "region": d.region,
+                "version": d.version,
+                "floor": d.floor,
+                "executed": d.executed,
+                "producer": d.producer,
+            }
+            for d in finding.deviations
+        ],
+        "timeline": list(finding.timeline),
+    }
+
+
+def report_dict(report: CheckReport) -> Dict[str, Any]:
+    """The stable JSON document for one check report."""
+    return {
+        "version": JSON_SCHEMA_VERSION,
+        "tool": "persist-verify",
+        "scheme": str(report.scheme),
+        "workload": report.workload,
+        "threads": report.threads,
+        "instructions": report.instructions,
+        "summary": {
+            "findings": len(report.findings),
+            "clean": report.clean,
+            "positions": report.positions,
+            "frontiers_checked": report.frontiers_checked,
+            "frontiers_total": report.frontiers_total,
+            "exhaustive": report.exhaustive,
+            "coverage": round(report.coverage, 6),
+            "wall_time_s": round(report.wall_time, 3),
+        },
+        "findings": [_finding_dict(f) for f in report.findings],
+    }
+
+
+def render_json(reports: Sequence[CheckReport]) -> str:
+    """One JSON document covering one or more check reports."""
+    return json.dumps(
+        {
+            "version": JSON_SCHEMA_VERSION,
+            "tool": "persist-verify",
+            "results": [report_dict(report) for report in reports],
+        },
+        indent=2,
+        sort_keys=False,
+    )
+
+
+def verify_to_sarif(reports: Sequence[CheckReport]) -> Dict[str, Any]:
+    """SARIF 2.1.0 document for one or more check reports (one run per
+    report, sharing the stable V rule catalog)."""
+    codes = sorted(VERIFY_RULES)
+    rules = [
+        (code, VERIFY_RULES[code][0], VERIFY_RULES[code][1]) for code in codes
+    ]
+    rule_index = {code: position for position, code in enumerate(codes)}
+    runs = []
+    for report in reports:
+        runs.append(
+            sarif_run(
+                "persist-verify",
+                rules,
+                [
+                    sarif_result(
+                        finding.rule,
+                        rule_index[finding.rule],
+                        VERIFY_RULES[finding.rule][0],
+                        finding.message,
+                        finding.thread_id,
+                        max(finding.position, 0),
+                        properties={
+                            "k": finding.k,
+                            "sealed_commits": finding.sealed,
+                            "executed_commits": finding.executed_commits,
+                            "deviations": len(finding.deviations),
+                        },
+                    )
+                    for finding in report.findings
+                ],
+                properties={
+                    "scheme": str(report.scheme),
+                    "workload": report.workload,
+                    "threads": report.threads,
+                    "instructions": report.instructions,
+                    "coverage": round(report.coverage, 6),
+                    "exhaustive": report.exhaustive,
+                },
+            )
+        )
+    return sarif_log(runs)

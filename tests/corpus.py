@@ -169,3 +169,77 @@ CORPUS: Tuple[CorpusCase, ...] = (
 def cases_for_code(code: str) -> Tuple[CorpusCase, ...]:
     """Corpus cases expected to raise ``code``."""
     return tuple(case for case in CORPUS if code in case.expected)
+
+
+@dataclass(frozen=True)
+class VerifyCase:
+    """One known-crash-inconsistent stream for the model checker.
+
+    ``lint_detects`` records whether ``persist-lint``'s pattern rules see
+    the bug at all; the checker must counterexample every case, and at
+    least one case must carry ``lint_detects=False`` — that gap is the
+    checker's reason to exist.
+    """
+
+    name: str
+    scheme: str
+    mutator: Callable[[InstructionTrace], InstructionTrace]
+    #: does the ordering linter flag this stream (with any error)?
+    lint_detects: bool
+
+    def buggy_trace(self) -> InstructionTrace:
+        return self.mutator(clean_trace(self.scheme))
+
+
+VERIFY_CORPUS: Tuple[VerifyCase, ...] = (
+    # A torn log pair: the Proteus LogFlush for one captured line never
+    # issues, so the undo entry exists executed-side but a crash frontier
+    # can expose the covered data store without it.
+    VerifyCase(
+        "proteus-torn-log-pair",
+        "proteus",
+        lambda t: mutate.drop_log_flush(t, 1),
+        lint_detects=True,
+    ),
+    # The software analog: payload persists, covering header never
+    # written, so recovery cannot apply the entry.
+    VerifyCase(
+        "pmem-torn-log-pair",
+        "pmem",
+        lambda t: mutate.drop_sw_log_header(t, 1),
+        lint_detects=True,
+    ),
+    # Epoch-spanning persist: a data clwb deferred past its commit
+    # fence — the crash window between commit and the stray flush loses
+    # a sealed commit's write.
+    VerifyCase(
+        "pmem-epoch-spanning-persist",
+        "pmem",
+        lambda t: mutate.defer_clwb_past_commit(t, 1),
+        lint_detects=True,
+    ),
+    VerifyCase(
+        "proteus-epoch-spanning-persist",
+        "proteus",
+        lambda t: mutate.defer_clwb_past_commit(t, 1),
+        lint_detects=True,
+    ),
+    # Recovery-visible partial transaction: the fence after the tx body
+    # is gone, so commit can seal with body lines still un-persisted.
+    VerifyCase(
+        "pmem-partial-tx-visible",
+        "pmem",
+        lambda t: mutate.drop_sfence(t, 3),
+        lint_detects=True,
+    ),
+    # The flagship lint miss: the stream's ordering *shape* is perfect —
+    # every rule passes — but one log payload holds a wrong pre-image,
+    # so rollback restores garbage.  Value-level bugs are invisible to
+    # pattern lint and only the crash-state checker sees them.
+    VerifyCase(
+        "pmem-corrupt-log-payload",
+        "pmem",
+        lambda t: mutate.corrupt_sw_log_payload(t, 1),
+        lint_detects=False,
+    ),
+)

@@ -131,3 +131,58 @@ def test_resume_alone_derives_journal_under_cache_dir(tmp_path, capsys):
     assert table(second) == table(first)
     assert "0 simulated" in second
     assert "journal hit(s)" in second
+
+
+def test_verify_subcommand_single_cell(capsys):
+    argv = ["verify", "--scheme", "atom", "--workload", "queue",
+            "--ops", "3", "--init", "6"]
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "persist-verify" in out
+    assert "COVERAGE:" in out
+    assert "exhaustive" in out
+
+
+def test_verify_subcommand_json(capsys):
+    import json
+
+    argv = ["verify", "--scheme", "atom", "--workload", "queue",
+            "--ops", "3", "--init", "6", "--json"]
+    assert main(argv) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["tool"] == "persist-verify"
+    assert doc["results"][0]["summary"]["clean"] is True
+
+
+def test_verify_subcommand_sarif(tmp_path, capsys):
+    import json
+
+    sarif_path = tmp_path / "verify.sarif"
+    argv = ["verify", "--scheme", "atom", "--workload", "queue",
+            "--ops", "3", "--init", "6", "--sarif", str(sarif_path)]
+    assert main(argv) == 0
+    from repro.lint import validate_sarif
+
+    doc = json.loads(sarif_path.read_text())
+    assert validate_sarif(doc) == []
+    assert str(sarif_path) in capsys.readouterr().out
+
+
+def test_verify_rules_catalog(capsys):
+    assert main(["verify", "--rules"]) == 0
+    out = capsys.readouterr().out
+    assert "V001" in out and "V002" in out
+
+
+def test_verify_rejects_non_failure_safe_scheme(capsys):
+    assert main(["verify", "--scheme", "nolog", "--workload", "queue",
+                 "--ops", "2", "--init", "4"]) == 2
+    assert "failure safe" in capsys.readouterr().err
+
+
+def test_verify_budget_reports_coverage(capsys):
+    argv = ["verify", "--scheme", "pmem", "--workload", "queue",
+            "--ops", "3", "--init", "6", "--budget", "8"]
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "coverage >=" in out

@@ -1,0 +1,153 @@
+"""SARIF 2.1.0 export for both static analyzers.
+
+``persist-lint`` and ``persist-verify`` share one exporter
+(:mod:`repro.lint.sarif`).  The documents must carry stable rule ids,
+logical locations naming the flagged instruction, and pass the
+hand-rolled structural validator — which itself must reject malformed
+documents, or it proves nothing.
+"""
+
+import copy
+import json
+
+import pytest
+
+from repro.core.schemes import Scheme
+from repro.lint import (
+    RULES,
+    SARIF_SCHEMA,
+    SARIF_VERSION,
+    lint_instruction_trace,
+    lint_to_sarif,
+    validate_sarif,
+)
+from repro.lint.runner import lower_for_lint
+from repro.verify import verify_instruction_trace, verify_to_sarif
+from repro.verify.report import VERIFY_RULES
+from tests.corpus import CORPUS, VERIFY_CORPUS, clean_op_trace, clean_trace
+
+
+@pytest.fixture(scope="module")
+def lint_doc():
+    case = next(c for c in CORPUS if c.name == "pmem-drop-log-clwb")
+    result = lint_instruction_trace(case.buggy_trace(), case.scheme)
+    return lint_to_sarif([result]), result
+
+
+@pytest.fixture(scope="module")
+def verify_doc():
+    case = next(c for c in VERIFY_CORPUS if not c.lint_detects)
+    op_trace = clean_op_trace()
+    scheme = Scheme.parse(case.scheme)
+    _, layout = lower_for_lint(op_trace, scheme)
+    report = verify_instruction_trace(
+        case.buggy_trace(), scheme, layout=layout,
+        initial_image=op_trace.initial_image, max_findings=3,
+    )
+    return verify_to_sarif([report]), report
+
+
+def test_lint_sarif_validates(lint_doc):
+    doc, _ = lint_doc
+    assert validate_sarif(doc) == []
+    assert doc["version"] == SARIF_VERSION == "2.1.0"
+    assert doc["$schema"] == SARIF_SCHEMA
+
+
+def test_lint_sarif_rules_are_the_stable_catalog(lint_doc):
+    doc, _ = lint_doc
+    (run,) = doc["runs"]
+    ids = [rule["id"] for rule in run["tool"]["driver"]["rules"]]
+    assert ids == sorted(RULES)
+    for result in run["results"]:
+        assert result["ruleId"] == ids[result["ruleIndex"]]
+
+
+def test_lint_sarif_results_match_diagnostics(lint_doc):
+    doc, result = lint_doc
+    (run,) = doc["runs"]
+    assert len(run["results"]) == len(result.diagnostics)
+    for sarif_res, diag in zip(run["results"], result.diagnostics):
+        assert sarif_res["ruleId"] == diag.code
+        assert sarif_res["message"]["text"] == diag.message
+        name = sarif_res["locations"][0]["logicalLocations"][0]["name"]
+        assert name == f"t{diag.thread_id}@{diag.index}"
+
+
+def test_verify_sarif_validates(verify_doc):
+    doc, report = verify_doc
+    assert validate_sarif(doc) == []
+    (run,) = doc["runs"]
+    assert run["tool"]["driver"]["name"] == "persist-verify"
+    assert [r["id"] for r in run["tool"]["driver"]["rules"]] == sorted(
+        VERIFY_RULES
+    )
+    assert len(run["results"]) == len(report.findings) > 0
+
+
+def test_clean_streams_export_empty_result_sets():
+    result = lint_instruction_trace(clean_trace("atom"), "atom")
+    doc = lint_to_sarif([result])
+    assert validate_sarif(doc) == []
+    errors = [
+        r for r in doc["runs"][0]["results"] if r["level"] == "error"
+    ]
+    assert errors == []
+
+
+def test_sarif_is_json_serializable(lint_doc, verify_doc):
+    for doc in (lint_doc[0], verify_doc[0]):
+        assert json.loads(json.dumps(doc)) == doc
+
+
+@pytest.mark.parametrize(
+    "mangle, fragment",
+    [
+        (lambda d: d.pop("version"), "version"),
+        (lambda d: d.pop("$schema"), "$schema"),
+        (lambda d: d.update(runs=[]), "runs"),
+        (lambda d: d["runs"][0]["tool"]["driver"].pop("name"), "name"),
+        (
+            lambda d: d["runs"][0]["tool"]["driver"]["rules"][0].pop(
+                "shortDescription"
+            ),
+            "shortDescription",
+        ),
+        (
+            lambda d: d["runs"][0]["results"][0].update(ruleId="NOPE"),
+            "NOPE",
+        ),
+        (
+            lambda d: d["runs"][0]["results"][0].update(ruleIndex=999),
+            "ruleIndex",
+        ),
+        (
+            lambda d: d["runs"][0]["results"][0].update(level="fatal"),
+            "level",
+        ),
+        (
+            lambda d: d["runs"][0]["results"][0]["message"].pop("text"),
+            "message",
+        ),
+        (
+            lambda d: d["runs"][0]["results"][0].pop("locations"),
+            "location",
+        ),
+    ],
+)
+def test_validator_rejects_malformed_documents(lint_doc, mangle, fragment):
+    doc = copy.deepcopy(lint_doc[0])
+    mangle(doc)
+    errors = validate_sarif(doc)
+    assert errors, f"validator accepted a document mangled at {fragment!r}"
+    assert any(fragment.lower() in e.lower() for e in errors), (
+        f"no validator error mentions {fragment!r}: {errors}"
+    )
+
+
+def test_validator_rejects_duplicate_rule_ids(lint_doc):
+    doc = copy.deepcopy(lint_doc[0])
+    rules = doc["runs"][0]["tool"]["driver"]["rules"]
+    rules.append(copy.deepcopy(rules[0]))
+    assert any("unique" in e.lower() or "duplicate" in e.lower()
+               for e in validate_sarif(doc))

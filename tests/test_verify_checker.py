@@ -1,0 +1,167 @@
+"""Model-checker tests: clean streams stay clean, seeded bugs are found.
+
+Three claims, each tied to an acceptance criterion of the checker:
+
+* **soundness on clean streams** — exhaustive frontier enumeration over
+  every failure-safe scheme's correct lowering yields zero findings;
+* **completeness on the verify corpus** — every known-crash-inconsistent
+  stream in :data:`tests.corpus.VERIFY_CORPUS` produces a counterexample
+  with a concrete minimal frontier, including at least one case the
+  ordering linter cannot see;
+* **budget agreement** — budgeted (stratified-sampling) runs report
+  honest coverage and agree with the exhaustive verdict on the corpus.
+"""
+
+import pytest
+
+from repro.core.schemes import Scheme
+from repro.lint import lint_instruction_trace
+from repro.lint.runner import layout_for_thread, lower_for_lint
+from repro.verify import (
+    VERIFY_RULES,
+    render_json,
+    render_text,
+    report_dict,
+    verify_instruction_trace,
+    verify_op_traces,
+)
+from tests.corpus import VERIFY_CORPUS, clean_op_trace, clean_trace
+
+FAILURE_SAFE = tuple(s for s in Scheme if s.failure_safe)
+
+
+def _verify_case(case, **kwargs):
+    op_trace = clean_op_trace()
+    scheme = Scheme.parse(case.scheme)
+    _, layout = lower_for_lint(op_trace, scheme)
+    return verify_instruction_trace(
+        case.buggy_trace(),
+        scheme,
+        layout=layout,
+        initial_image=op_trace.initial_image,
+        workload=case.name,
+        **kwargs,
+    )
+
+
+@pytest.mark.parametrize("scheme", FAILURE_SAFE, ids=str)
+def test_clean_streams_verify_clean(scheme):
+    """No false positives: the correct lowering has no bad frontier."""
+    op_trace = clean_op_trace()
+    report = verify_op_traces([op_trace], scheme)
+    assert report.clean, render_text(report)
+    assert report.exhaustive
+    assert report.coverage == 1.0
+    assert report.positions > 0
+    assert report.frontiers_checked > 0
+
+
+@pytest.mark.parametrize("case", VERIFY_CORPUS, ids=lambda c: c.name)
+def test_verify_corpus_case_is_counterexampled(case):
+    report = _verify_case(case, max_findings=3)
+    assert not report.clean, f"{case.name}: checker missed the seeded bug"
+    for finding in report.findings:
+        assert finding.rule in VERIFY_RULES
+        assert finding.message
+        assert finding.timeline, "counterexample must carry its timeline"
+        assert "--- crash" in "\n".join(finding.timeline)
+
+
+@pytest.mark.parametrize("case", VERIFY_CORPUS, ids=lambda c: c.name)
+def test_verify_corpus_minimal_frontier_is_concrete(case):
+    """The minimized frontier names real lines with real version windows."""
+    report = _verify_case(case, max_findings=1)
+    (finding,) = report.findings
+    for deviation in finding.deviations:
+        assert deviation.floor <= deviation.version <= deviation.executed
+        assert deviation.version != deviation.floor, (
+            "minimization must strip floor-level (guaranteed) choices"
+        )
+        assert deviation.region in ("data", "sw-log", "hw-log", "flag")
+
+
+@pytest.mark.parametrize("case", VERIFY_CORPUS, ids=lambda c: c.name)
+def test_lint_verdict_matches_corpus_annotation(case):
+    """``lint_detects`` pins what the ordering linter sees; the checker
+    must strictly subsume it on this corpus."""
+    result = lint_instruction_trace(case.buggy_trace(), case.scheme)
+    if case.lint_detects:
+        assert result.errors >= 1, f"{case.name}: lint was expected to flag this"
+    else:
+        assert result.errors == 0, (
+            f"{case.name}: annotated lint-invisible but lint found "
+            f"{result.codes()}"
+        )
+
+
+def test_corpus_contains_a_lint_miss():
+    """At least one seeded inconsistency must be invisible to lint —
+    the gap that justifies the checker."""
+    assert any(not case.lint_detects for case in VERIFY_CORPUS)
+
+
+@pytest.mark.parametrize("case", VERIFY_CORPUS, ids=lambda c: c.name)
+def test_budgeted_run_agrees_with_exhaustive(case):
+    """Stratified sampling under a tight budget still finds every corpus
+    bug, and reports honest sub-1.0 coverage when it actually samples."""
+    exhaustive = _verify_case(case, max_findings=1)
+    budgeted = _verify_case(case, budget=16, seed=3, max_findings=1)
+    assert not exhaustive.clean
+    assert not budgeted.clean, (
+        f"{case.name}: budget=16 sampling missed a bug the exhaustive "
+        f"run proves exists"
+    )
+    assert budgeted.frontiers_checked <= exhaustive.frontiers_checked
+    if not budgeted.exhaustive:
+        assert budgeted.coverage < 1.0
+
+
+def test_budgeted_clean_stream_stays_clean():
+    scheme = Scheme.parse("pmem")
+    op_trace = clean_op_trace()
+    report = verify_op_traces([op_trace], scheme, budget=8, seed=5)
+    assert report.clean, render_text(report)
+    assert 0.0 < report.coverage <= 1.0
+
+
+def test_non_failure_safe_scheme_is_rejected():
+    trace = clean_trace("pmem")
+    with pytest.raises(ValueError, match="failure safe"):
+        verify_instruction_trace(trace, Scheme.PMEM_NOLOG)
+
+
+def test_bad_budget_is_rejected():
+    trace = clean_trace("pmem")
+    with pytest.raises(ValueError, match="budget"):
+        verify_instruction_trace(trace, Scheme.PMEM, budget=0)
+
+
+def test_layout_threading_matches_lint():
+    """The checker and the linter must agree on the per-thread layout."""
+    op_trace = clean_op_trace()
+    lowered, layout = lower_for_lint(op_trace, Scheme.PMEM)
+    assert layout == layout_for_thread(op_trace.thread_id)
+    report = verify_instruction_trace(
+        lowered, Scheme.PMEM, layout=layout,
+        initial_image=op_trace.initial_image,
+    )
+    assert report.clean
+
+
+def test_report_json_shape():
+    case = next(c for c in VERIFY_CORPUS if not c.lint_detects)
+    report = _verify_case(case, max_findings=2)
+    doc = report_dict(report)
+    assert doc["version"] == 1
+    assert doc["tool"] == "persist-verify"
+    assert doc["summary"]["findings"] == len(report.findings) > 0
+    assert doc["summary"]["clean"] is False
+    for entry in doc["findings"]:
+        assert entry["rule"] in VERIFY_RULES
+        assert entry["timeline"]
+    # the multi-report wrapper nests the same documents
+    import json
+
+    wrapped = json.loads(render_json([report, report]))
+    assert len(wrapped["results"]) == 2
+    assert wrapped["results"][0] == doc

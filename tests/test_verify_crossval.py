@@ -1,0 +1,72 @@
+"""Static/dynamic cross-validation: the checker subsumes the campaign.
+
+For every fault mode whose damage has a stream analog, a dynamic
+campaign detection implies a static counterexample on the mutated
+stream.  Modes with no analog must be explicitly triaged, never silently
+skipped — the triage notes are the documented boundary between the two
+verifiers.
+"""
+
+import pytest
+
+from repro.core.schemes import Scheme
+from repro.faults.campaign import CLEAN_MODES, FAULT_MODES, VIOLATION_MODES
+from repro.verify import analog_for, cross_validate, dynamic_only_reason
+
+#: Keep the dynamic side small: the claim is existence, not statistics.
+KWARGS = dict(crashes=6, seed=3, init_ops=12, sim_ops=6)
+
+SCHEMES = ("pmem", "proteus", "atom")
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_static_is_a_superset_of_dynamic(scheme):
+    result = cross_validate(scheme, "QE", **KWARGS)
+    assert result.static_superset, result.report()
+    # every violation mode got a verdict, none dropped on the floor
+    assert {case.mode for case in result.cases} == set(VIOLATION_MODES)
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_analog_modes_produce_counterexamples(scheme):
+    """Where an analog exists, the mutated stream itself must fail the
+    checker — independent of what the sampled campaign happened to hit."""
+    result = cross_validate(scheme, "QE", **KWARGS)
+    for case in result.cases:
+        if not case.has_analog:
+            continue
+        assert case.static_report is not None
+        assert case.static_findings >= 1, (
+            f"{scheme}/{case.mode}: the static analog mutation produced "
+            f"no counterexample\n{result.report()}"
+        )
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_dynamic_only_modes_are_triaged(scheme):
+    """No silent holes: a mode without an analog must carry a reason."""
+    for mode in VIOLATION_MODES:
+        if analog_for(scheme, mode) is None:
+            assert dynamic_only_reason(scheme, mode), (
+                f"{scheme}/{mode} has no static analog and no triage note"
+            )
+
+
+def test_mode_tables_cover_the_campaign_vocabulary():
+    """The analog table plus triage notes must account for every
+    violation mode of every failure-safe scheme — new fault modes cannot
+    land without deciding their static story."""
+    assert set(VIOLATION_MODES) == set(FAULT_MODES) - set(CLEAN_MODES)
+    for scheme in (s for s in Scheme if s.failure_safe):
+        for mode in VIOLATION_MODES:
+            has_analog = analog_for(scheme, mode) is not None
+            has_triage = bool(dynamic_only_reason(scheme, mode))
+            assert has_analog or has_triage, f"{scheme}/{mode} unaccounted"
+
+
+def test_crossval_report_renders():
+    result = cross_validate("pmem", "QE", modes=["drop-flag"], **KWARGS)
+    text = result.report()
+    assert "verify-crossval" in text
+    assert "drop-flag" in text
+    assert "PASS" in text or "FAIL" in text
