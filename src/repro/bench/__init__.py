@@ -1,0 +1,68 @@
+"""Run-level results observability: schema, paper fidelity, gate, dashboard.
+
+``repro.bench`` is the layer every perf PR reports through.  It owns the
+contract of ``BENCH_results.json`` (the append-only benchmark trajectory
+``benchmarks/emit_bench.py`` writes), the checked-in dataset of the
+paper's published numbers with per-metric tolerances, the regression
+gate that diffs a run against the last accepted baseline, and the
+static HTML dashboard that shows every figure repro-vs-paper
+side-by-side plus the perf trajectory across runs.
+
+Entry points (also exposed as ``python -m repro bench ...``):
+
+* :func:`load_results` — schema-validated load of the trajectory file.
+* :func:`run_gate` — fidelity + drift gate producing a delta report.
+* :func:`build_baseline` / :func:`load_baseline` — accepted-baseline
+  snapshots (``benchmarks/BASELINE.json``).
+* :func:`render_dashboard` — self-contained HTML dashboard.
+* :func:`collect_provenance` — structured run provenance for new runs.
+"""
+
+from repro.bench.dashboard import render_dashboard
+from repro.bench.gate import (
+    BASELINE_SCHEMA_VERSION,
+    GateFinding,
+    GateReport,
+    build_baseline,
+    load_baseline,
+    run_gate,
+    validate_baseline,
+)
+from repro.bench.provenance import collect_provenance, config_digest
+from repro.bench.reference import (
+    PAPER_REFERENCE,
+    REFERENCE_VERSION,
+    RefEntry,
+    reference_for,
+)
+from repro.bench.schema import (
+    RESULTS_SCHEMA_VERSION,
+    SUPPORTED_RESULTS_VERSIONS,
+    BenchResultsError,
+    load_results,
+    upgrade_results,
+    validate_results,
+)
+
+__all__ = [
+    "BASELINE_SCHEMA_VERSION",
+    "BenchResultsError",
+    "GateFinding",
+    "GateReport",
+    "PAPER_REFERENCE",
+    "REFERENCE_VERSION",
+    "RESULTS_SCHEMA_VERSION",
+    "RefEntry",
+    "SUPPORTED_RESULTS_VERSIONS",
+    "build_baseline",
+    "collect_provenance",
+    "config_digest",
+    "load_baseline",
+    "load_results",
+    "reference_for",
+    "render_dashboard",
+    "run_gate",
+    "upgrade_results",
+    "validate_baseline",
+    "validate_results",
+]

@@ -1,0 +1,509 @@
+"""Self-contained HTML dashboard over the benchmark trajectory.
+
+``render_dashboard`` turns a validated ``BENCH_results.json`` document
+into one static HTML file with zero external dependencies (inline SVG,
+no JS frameworks, no CDN): every registry figure shown repro-vs-paper
+side by side with its gate status, a perf-trajectory section (metric
+values and wall times across all runs), and a provenance table tying
+each run to its commit, host, and configuration digest.
+
+Chart conventions (shared with the repo's docs): the reproduction is
+the subject and wears the accent blue; the paper's published number is
+context and stays gray; trajectory series take fixed categorical slots
+in metric order; status colors are reserved for gate verdicts and
+always ship with a text label.  Values are labeled at bar tips in ink
+(never in the series color), and every chart has a table fallback.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.analysis.figures import (
+    REGISTRY,
+    FigureSpec,
+    latest_figure_records,
+    trajectory_rows,
+    walltime_rows,
+)
+from repro.bench.gate import GateFinding, GateReport
+from repro.bench.reference import reference_for
+
+#: Fixed categorical slots (light, dark) for trajectory series.
+_SERIES_SLOTS: Tuple[Tuple[str, str], ...] = (
+    ("#2a78d6", "#3987e5"),
+    ("#eb6834", "#d95926"),
+    ("#1baf7a", "#199e70"),
+    ("#eda100", "#c98500"),
+    ("#e87ba4", "#d55181"),
+    ("#008300", "#008300"),
+    ("#4a3aa7", "#9085e9"),
+    ("#e34948", "#e66767"),
+)
+
+_STATUS_COLORS = {
+    "PASS": "var(--status-good)",
+    "TRACK": "var(--text-muted)",
+    "WARN": "var(--status-warning)",
+    "SKIP": "var(--text-muted)",
+    "FAIL": "var(--status-critical)",
+}
+
+_CHART_WIDTH = 640
+_LABEL_GUTTER = 170
+_BAR_THICKNESS = 14
+_BAR_GAP = 4
+_ROW_PAD = 14
+
+
+def _esc(value: Any) -> str:
+    return html.escape(str(value), quote=True)
+
+
+def _fmt(value: Optional[float]) -> str:
+    return "—" if value is None else f"{value:.4g}"
+
+
+def _bar_path(x: float, y: float, width: float, height: float) -> str:
+    """A bar square at the baseline, 4px-rounded at the data end."""
+    r = min(4.0, width, height / 2)
+    return (
+        f"M {x:.1f} {y:.1f} "
+        f"h {width - r:.1f} "
+        f"a {r:.1f} {r:.1f} 0 0 1 {r:.1f} {r:.1f} "
+        f"v {height - 2 * r:.1f} "
+        f"a {r:.1f} {r:.1f} 0 0 1 {-r:.1f} {r:.1f} "
+        f"h {-(width - r):.1f} Z"
+    )
+
+
+def _comparison_svg(
+    spec: FigureSpec,
+    measured: Dict[str, Any],
+) -> str:
+    """Horizontal repro-vs-paper bars, one metric pair per row."""
+    rows: List[Tuple[str, Optional[float], Optional[float]]] = []
+    for metric in spec.metrics:
+        reference = reference_for(spec.name, metric)
+        value = measured.get(metric)
+        rows.append(
+            (
+                metric,
+                float(value) if value is not None else None,
+                reference.value if reference is not None else None,
+            )
+        )
+    peak = max(
+        [abs(v) for _, v, _ in rows if v is not None]
+        + [abs(p) for _, _, p in rows if p is not None]
+        + [1e-9]
+    )
+    row_height = 2 * _BAR_THICKNESS + _BAR_GAP + 2 * _ROW_PAD
+    height = row_height * len(rows) + 8
+    plot_width = _CHART_WIDTH - _LABEL_GUTTER - 80
+    parts: List[str] = [
+        f'<svg viewBox="0 0 {_CHART_WIDTH} {height}" role="img" '
+        f'aria-label="{_esc(spec.title)}">'
+    ]
+    for index, (metric, value, paper) in enumerate(rows):
+        top = index * row_height + _ROW_PAD
+        parts.append(
+            f'<text x="{_LABEL_GUTTER - 10}" y="{top + _BAR_THICKNESS + 6}" '
+            f'text-anchor="end" class="label">{_esc(metric)}</text>'
+        )
+        for offset, (series_value, css) in enumerate(
+            ((value, "var(--series-repro)"), (paper, "var(--series-paper)"))
+        ):
+            y = top + offset * (_BAR_THICKNESS + _BAR_GAP)
+            if series_value is None:
+                parts.append(
+                    f'<text x="{_LABEL_GUTTER + 4}" '
+                    f'y="{y + _BAR_THICKNESS - 3}" class="value">—</text>'
+                )
+                continue
+            width = max(1.0, plot_width * abs(series_value) / peak)
+            name = "repro" if offset == 0 else "paper"
+            parts.append(
+                f'<path d="{_bar_path(_LABEL_GUTTER, y, width, _BAR_THICKNESS)}" '
+                f'fill="{css}">'
+                f"<title>{_esc(metric)} ({name}): {series_value:.4f}</title>"
+                f"</path>"
+            )
+            parts.append(
+                f'<text x="{_LABEL_GUTTER + width + 6}" '
+                f'y="{y + _BAR_THICKNESS - 3}" class="value">'
+                f"{series_value:.2f}</text>"
+            )
+    parts.append(
+        f'<line x1="{_LABEL_GUTTER}" y1="0" x2="{_LABEL_GUTTER}" '
+        f'y2="{height}" class="axis"/>'
+    )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _line_chart_svg(
+    series: Dict[str, List[Tuple[int, float]]],
+    run_labels: List[str],
+    aria_label: str,
+    height: int = 220,
+) -> str:
+    """Multi-series line chart across run indices (fixed slot colors)."""
+    if not series or not run_labels:
+        return '<p class="muted">no data</p>'
+    values = [v for points in series.values() for _, v in points]
+    low, high = min(values), max(values)
+    if high - low < 1e-12:
+        low -= 0.5
+        high += 0.5
+    pad = 0.08 * (high - low)
+    low -= pad
+    high += pad
+    plot_left, plot_right = 56, _CHART_WIDTH - 16
+    plot_top, plot_bottom = 12, height - 36
+    span = max(1, len(run_labels) - 1)
+
+    def sx(index: int) -> float:
+        return plot_left + (plot_right - plot_left) * index / span
+
+    def sy(value: float) -> float:
+        return plot_bottom - (plot_bottom - plot_top) * (
+            (value - low) / (high - low)
+        )
+
+    parts: List[str] = [
+        f'<svg viewBox="0 0 {_CHART_WIDTH} {height}" role="img" '
+        f'aria-label="{_esc(aria_label)}">'
+    ]
+    for fraction in (0.0, 0.5, 1.0):
+        value = low + fraction * (high - low)
+        y = sy(value)
+        parts.append(
+            f'<line x1="{plot_left}" y1="{y:.1f}" x2="{plot_right}" '
+            f'y2="{y:.1f}" class="grid"/>'
+        )
+        parts.append(
+            f'<text x="{plot_left - 6}" y="{y + 4:.1f}" text-anchor="end" '
+            f'class="tick">{value:.2f}</text>'
+        )
+    for index, label in enumerate(run_labels):
+        parts.append(
+            f'<text x="{sx(index):.1f}" y="{height - 18}" '
+            f'text-anchor="middle" class="tick">{_esc(label)}</text>'
+        )
+    for slot, (name, points) in enumerate(series.items()):
+        color = f"var(--series-{(slot % len(_SERIES_SLOTS)) + 1})"
+        coords = [(sx(i), sy(v)) for i, v in points]
+        if len(coords) > 1:
+            d = "M " + " L ".join(f"{x:.1f} {y:.1f}" for x, y in coords)
+            parts.append(
+                f'<path d="{d}" fill="none" stroke="{color}" '
+                f'stroke-width="2" stroke-linejoin="round" '
+                f'stroke-linecap="round"/>'
+            )
+        for (x, y), (index, value) in zip(coords, points):
+            parts.append(
+                f'<circle cx="{x:.1f}" cy="{y:.1f}" r="4" fill="{color}" '
+                f'stroke="var(--surface-1)" stroke-width="2">'
+                f"<title>{_esc(name)} @ {_esc(run_labels[index])}: "
+                f"{value:.4f}</title></circle>"
+            )
+    parts.append("</svg>")
+    legend = "".join(
+        f'<span class="key"><span class="swatch" style="background:'
+        f'var(--series-{(slot % len(_SERIES_SLOTS)) + 1})"></span>'
+        f"{_esc(name)}</span>"
+        for slot, name in enumerate(series)
+    )
+    if len(series) > 1:
+        return "".join(parts) + f'<div class="legend">{legend}</div>'
+    return "".join(parts)
+
+
+def _status_badge(finding: Optional[GateFinding]) -> str:
+    if finding is None:
+        return '<span class="badge muted">n/a</span>'
+    color = _STATUS_COLORS.get(finding.status, "var(--text-muted)")
+    return (
+        f'<span class="badge"><span class="dot" '
+        f'style="background:{color}"></span>{_esc(finding.status)}</span>'
+    )
+
+
+def _figure_section(
+    spec: FigureSpec,
+    doc: Dict[str, Any],
+    latest: Dict[str, Tuple[str, Dict[str, Any]]],
+    statuses: Dict[Tuple[str, str], GateFinding],
+) -> str:
+    entry = latest.get(spec.name)
+    run_label = entry[0] if entry else None
+    record = entry[1] if entry else {}
+    measured: Dict[str, Any] = record.get("metrics", {})
+    derived = record.get("derived")
+    wall = record.get("wall_time_s")
+    meta_bits = [f"latest run: <strong>{_esc(run_label or '—')}</strong>"]
+    if derived:
+        meta_bits.append(
+            f"derived from {_esc(record.get('derived_from', 'another sweep'))}"
+            " (no own wall time)"
+        )
+    elif wall:
+        meta_bits.append(f"sweep wall time {float(wall):.1f}s")
+    table_rows: List[str] = []
+    for metric in spec.metrics:
+        reference = reference_for(spec.name, metric)
+        value = measured.get(metric)
+        finding = statuses.get((spec.name, metric))
+        delta = ""
+        if value is not None and reference is not None:
+            delta = f"{(float(value) - reference.value) / abs(reference.value):+.1%}"
+        table_rows.append(
+            "<tr>"
+            f"<td>{_esc(metric)}</td>"
+            f"<td class='num'>{_fmt(float(value) if value is not None else None)}</td>"
+            f"<td class='num'>{_fmt(reference.value if reference else None)}</td>"
+            f"<td class='num'>{_esc(delta or '—')}</td>"
+            f"<td class='num'>{_esc(f'±{reference.tolerance:.0%}' if reference else '—')}</td>"
+            f"<td>{_esc(reference.level if reference else '—')}</td>"
+            f"<td>{_status_badge(finding)}</td>"
+            "</tr>"
+        )
+    traj = trajectory_rows(spec, doc)
+    series: Dict[str, List[Tuple[int, float]]] = {}
+    run_labels = [run["label"] for run in doc.get("runs", [])]
+    for row in traj:
+        series.setdefault(str(row["metric"]), []).append(
+            (int(row["run_index"]), float(row["value"]))
+        )
+    return f"""
+<section class="figure" id="{_esc(spec.name)}">
+  <h2>{_esc(spec.name)} · {_esc(spec.title)}</h2>
+  <p class="muted">{_esc(spec.paper_source)} · {_esc(spec.unit)} ·
+  {' · '.join(meta_bits)}</p>
+  <div class="legend">
+    <span class="key"><span class="swatch" style="background:var(--series-repro)"></span>reproduction</span>
+    <span class="key"><span class="swatch" style="background:var(--series-paper)"></span>paper</span>
+  </div>
+  {_comparison_svg(spec, measured)}
+  <details>
+    <summary>values &amp; gate status</summary>
+    <table>
+      <thead><tr><th>metric</th><th>repro</th><th>paper</th><th>Δ</th>
+      <th>tolerance</th><th>level</th><th>status</th></tr></thead>
+      <tbody>{''.join(table_rows)}</tbody>
+    </table>
+  </details>
+  <details>
+    <summary>trajectory across runs</summary>
+    {_line_chart_svg(series, run_labels, f"{spec.name} metric trajectory")}
+  </details>
+</section>
+"""
+
+
+def _provenance_table(doc: Dict[str, Any]) -> str:
+    rows: List[str] = []
+    for run in doc.get("runs", []):
+        provenance = run.get("provenance", {})
+        rows.append(
+            "<tr>"
+            f"<td>{_esc(run['label'])}</td>"
+            f"<td>{_esc(provenance.get('timestamp_utc', '—'))}</td>"
+            f"<td><code>{_esc(provenance.get('git_sha', '—')[:12])}</code></td>"
+            f"<td><code>{_esc(provenance.get('config_digest', '—'))}</code></td>"
+            f"<td>{_esc(provenance.get('host', '—'))}</td>"
+            f"<td class='num'>{_esc(run.get('threads'))}</td>"
+            f"<td class='num'>{_esc(run.get('scale'))}</td>"
+            f"<td class='num'>{_esc(run.get('seed'))}</td>"
+            f"<td class='num'>{float(run.get('total_wall_time_s', 0.0)):.1f}s</td>"
+            "</tr>"
+        )
+    return (
+        "<table><thead><tr><th>run</th><th>timestamp (UTC)</th>"
+        "<th>commit</th><th>config</th><th>host</th><th>threads</th>"
+        "<th>scale</th><th>seed</th><th>total wall</th></tr></thead>"
+        f"<tbody>{''.join(rows)}</tbody></table>"
+    )
+
+
+def _walltime_section(doc: Dict[str, Any]) -> str:
+    rows = walltime_rows(doc)
+    run_labels = [run["label"] for run in doc.get("runs", [])]
+    totals: Dict[str, List[Tuple[int, float]]] = {"total": []}
+    per_figure: Dict[str, Dict[int, float]] = {}
+    for row in rows:
+        if row["figure"] == "total":
+            totals["total"].append(
+                (int(row["run_index"]), float(row["wall_time_s"]))
+            )
+        else:
+            per_figure.setdefault(str(row["figure"]), {})[
+                int(row["run_index"])
+            ] = float(row["wall_time_s"])
+    header = "".join(f"<th>{_esc(label)}</th>" for label in run_labels)
+    body: List[str] = []
+    for figure in sorted(per_figure):
+        cells = "".join(
+            f"<td class='num'>{per_figure[figure].get(i, float('nan')):.1f}</td>"
+            if i in per_figure[figure] else "<td class='num'>—</td>"
+            for i in range(len(run_labels))
+        )
+        body.append(f"<tr><td>{_esc(figure)}</td>{cells}</tr>")
+    return f"""
+<section class="figure" id="trajectory">
+  <h2>Perf trajectory · total sweep wall time</h2>
+  <p class="muted">Wall times are machine-dependent; derived figures
+  (served from another figure's sweep) are excluded.</p>
+  {_line_chart_svg(totals, run_labels, "total wall time per run")}
+  <details>
+    <summary>per-figure wall times (s)</summary>
+    <table><thead><tr><th>figure</th>{header}</tr></thead>
+    <tbody>{''.join(body)}</tbody></table>
+  </details>
+</section>
+"""
+
+
+_CSS = """
+:root { color-scheme: light dark; }
+.viz-root {
+  --surface-1: #fcfcfb; --page: #f9f9f7;
+  --text-primary: #0b0b0b; --text-secondary: #52514e;
+  --text-muted: #898781; --grid: #e1e0d9; --axis: #c3c2b7;
+  --border: rgba(11,11,11,0.10);
+  --series-repro: #2a78d6; --series-paper: #898781;
+  --series-1: #2a78d6; --series-2: #eb6834; --series-3: #1baf7a;
+  --series-4: #eda100; --series-5: #e87ba4; --series-6: #008300;
+  --series-7: #4a3aa7; --series-8: #e34948;
+  --status-good: #0ca30c; --status-warning: #fab219;
+  --status-serious: #ec835a; --status-critical: #d03b3b;
+  font-family: system-ui, -apple-system, "Segoe UI", sans-serif;
+  color: var(--text-primary); background: var(--page);
+  margin: 0; padding: 24px;
+}
+@media (prefers-color-scheme: dark) {
+  .viz-root {
+    --surface-1: #1a1a19; --page: #0d0d0d;
+    --text-primary: #ffffff; --text-secondary: #c3c2b7;
+    --grid: #2c2c2a; --axis: #383835;
+    --border: rgba(255,255,255,0.10);
+    --series-repro: #3987e5;
+    --series-1: #3987e5; --series-2: #d95926; --series-3: #199e70;
+    --series-4: #c98500; --series-5: #d55181; --series-6: #008300;
+    --series-7: #9085e9; --series-8: #e66767;
+  }
+}
+.viz-root h1 { font-size: 22px; margin: 0 0 4px; }
+.viz-root h2 { font-size: 16px; margin: 0 0 4px; }
+.viz-root .muted { color: var(--text-muted); font-size: 13px; margin: 2px 0 10px; }
+.viz-root .tiles { display: flex; gap: 12px; flex-wrap: wrap; margin: 16px 0 24px; }
+.viz-root .tile {
+  background: var(--surface-1); border: 1px solid var(--border);
+  border-radius: 8px; padding: 12px 16px; min-width: 130px;
+}
+.viz-root .tile .label { font-size: 12px; color: var(--text-secondary); }
+.viz-root .tile .big { font-size: 28px; font-weight: 600; }
+.viz-root .tile .sub { font-size: 12px; color: var(--text-muted); }
+.viz-root section.figure {
+  background: var(--surface-1); border: 1px solid var(--border);
+  border-radius: 8px; padding: 16px 20px; margin-bottom: 20px;
+  max-width: 720px;
+}
+.viz-root svg { display: block; width: 100%; max-width: 680px; height: auto; }
+.viz-root svg .label { font-size: 12px; fill: var(--text-secondary); }
+.viz-root svg .value { font-size: 11px; fill: var(--text-muted);
+  font-variant-numeric: tabular-nums; }
+.viz-root svg .tick { font-size: 10px; fill: var(--text-muted);
+  font-variant-numeric: tabular-nums; }
+.viz-root svg .grid { stroke: var(--grid); stroke-width: 1; }
+.viz-root svg .axis { stroke: var(--axis); stroke-width: 1; }
+.viz-root .legend { display: flex; gap: 16px; margin: 6px 0; font-size: 12px;
+  color: var(--text-secondary); flex-wrap: wrap; }
+.viz-root .key { display: inline-flex; align-items: center; gap: 6px; }
+.viz-root .swatch { width: 10px; height: 10px; border-radius: 2px;
+  display: inline-block; }
+.viz-root .badge { display: inline-flex; align-items: center; gap: 5px;
+  font-size: 12px; }
+.viz-root .badge .dot { width: 8px; height: 8px; border-radius: 50%;
+  display: inline-block; }
+.viz-root .badge.muted { color: var(--text-muted); }
+.viz-root table { border-collapse: collapse; font-size: 12px; margin: 8px 0;
+  width: 100%; }
+.viz-root th, .viz-root td { text-align: left; padding: 4px 10px 4px 0;
+  border-bottom: 1px solid var(--grid); }
+.viz-root td.num, .viz-root th.num { text-align: right;
+  font-variant-numeric: tabular-nums; }
+.viz-root details summary { cursor: pointer; font-size: 13px;
+  color: var(--text-secondary); margin-top: 8px; }
+.viz-root code { font-size: 11px; }
+"""
+
+
+def render_dashboard(
+    doc: Dict[str, Any], gate_report: Optional[GateReport] = None
+) -> str:
+    """The complete static dashboard HTML for one trajectory document."""
+    latest = latest_figure_records(doc)
+    statuses: Dict[Tuple[str, str], GateFinding] = {}
+    if gate_report is not None:
+        for finding in gate_report.findings:
+            if finding.check == "fidelity":
+                statuses[(finding.figure, finding.metric)] = finding
+    runs = doc.get("runs", [])
+    gate_text = "—"
+    gate_sub = "gate not run"
+    if gate_report is not None:
+        gate_text = "PASS" if gate_report.passed else "FAIL"
+        tally = gate_report.counts()
+        gate_sub = ", ".join(f"{v} {k.lower()}" for k, v in tally.items())
+    proteus = None
+    fig6 = latest.get("fig6")
+    if fig6 is not None:
+        proteus = fig6[1].get("metrics", {}).get("Proteus")
+    tiles = f"""
+<div class="tiles">
+  <div class="tile"><div class="label">Proteus speedup (fig6 geomean)</div>
+    <div class="big">{_esc(f"{proteus:.2f}×" if proteus is not None else "—")}</div>
+    <div class="sub">paper: 1.46×</div></div>
+  <div class="tile"><div class="label">Gate</div>
+    <div class="big">{_esc(gate_text)}</div>
+    <div class="sub">{_esc(gate_sub)}</div></div>
+  <div class="tile"><div class="label">Figures tracked</div>
+    <div class="big">{len(REGISTRY)}</div>
+    <div class="sub">{len(latest)} with data</div></div>
+  <div class="tile"><div class="label">Runs recorded</div>
+    <div class="big">{len(runs)}</div>
+    <div class="sub">schema v{_esc(doc.get("schema_version"))}</div></div>
+</div>
+"""
+    sections = "".join(
+        _figure_section(spec, doc, latest, statuses)
+        for spec in REGISTRY.values()
+    )
+    return f"""<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>Proteus reproduction · results dashboard</title>
+<style>{_CSS}</style>
+</head>
+<body class="viz-root">
+<h1>Proteus reproduction · results dashboard</h1>
+<p class="muted">Figures 6–12 / Tables 3–4 reproduced vs the paper's
+published numbers, plus the perf trajectory across all recorded runs.
+Generated by <code>python -m repro bench render</code>.</p>
+{tiles}
+{sections}
+{_walltime_section(doc)}
+<section class="figure" id="runs">
+  <h2>Run provenance</h2>
+  <p class="muted">Legacy runs predate structured provenance and show
+  dashes.</p>
+  {_provenance_table(doc)}
+</section>
+</body>
+</html>
+"""

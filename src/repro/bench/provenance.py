@@ -1,0 +1,65 @@
+"""Structured run provenance for trajectory records.
+
+Every run ``benchmarks/emit_bench.py`` appends carries a provenance
+block so each point on the dashboard is attributable: which commit
+produced it, on which host, at what time, under which run
+configuration.  The config digest hashes the *knobs* of the run
+(threads, scale, seed, figure subset, ...) — two runs with the same
+digest measured the same thing and are directly comparable; the code
+version (reused from :func:`repro.parallel.cellspec.repo_code_version`)
+pins the simulator sources the numbers came from.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import platform
+import subprocess
+import sys
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Mapping, Optional
+
+from repro.bench.schema import RESULTS_SCHEMA_VERSION
+from repro.parallel.cellspec import repo_code_version
+
+
+def config_digest(params: Mapping[str, Any]) -> str:
+    """Short content digest of a run's configuration knobs."""
+    canonical = json.dumps(params, sort_keys=True, default=str)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+def _git_sha(cwd: Optional[Path]) -> str:
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd, capture_output=True, text=True, check=True,
+        )
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+    return proc.stdout.strip() or "unknown"
+
+
+def collect_provenance(
+    params: Mapping[str, Any], repo_root: Optional[Path] = None
+) -> "dict[str, Any]":
+    """The provenance block for one trajectory run record.
+
+    ``params`` are the run's configuration knobs (threads, scale, seed,
+    figure subset, jobs, ...); they determine ``config_digest``.  The
+    block satisfies :data:`repro.bench.schema.PROVENANCE_REQUIRED`.
+    """
+    return {
+        "schema_version": RESULTS_SCHEMA_VERSION,
+        "git_sha": _git_sha(repo_root),
+        "code_version": repo_code_version(),
+        "config_digest": config_digest(params),
+        "host": platform.node() or "unknown",
+        "platform": platform.platform(),
+        "python": sys.version.split()[0],
+        "timestamp_utc": datetime.now(timezone.utc).strftime(
+            "%Y-%m-%dT%H:%M:%SZ"
+        ),
+    }

@@ -1,0 +1,179 @@
+"""Versioned schema for the benchmark trajectory (``BENCH_results.json``).
+
+The trajectory file is append-only and outlives any single checkout, so
+every consumer (the figure registry, the gate, the dashboard) validates
+it on load instead of trusting whatever shape a previous writer left
+behind.  The pattern follows ``repro.obs.schema``: validators return a
+list of human-readable problems (empty means valid) and the loader
+wraps them in one clear :class:`BenchResultsError` instead of letting a
+corrupt or version-skewed file propagate ``KeyError``/``TypeError``
+into figures.
+
+Version history:
+
+* **1** — ``{"schema_version": 1, "runs": [...]}``; each run carries
+  ``label/threads/scale/seed/figures`` plus optional comparison blocks.
+* **2** — adds optional per-run ``provenance`` (git SHA, config digest,
+  host, timestamp; see :mod:`repro.bench.provenance`) and optional
+  per-figure ``derived``/``derived_from`` markers for figures whose
+  cells were served from an earlier figure's sweep in the same process
+  (their ``wall_time_s`` is not a measurement of their own sweep).
+
+Version-1 documents remain readable: :func:`upgrade_results` lifts them
+in memory, leaving legacy runs without provenance rather than guessing.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+#: Schema version new trajectory documents are written at.
+RESULTS_SCHEMA_VERSION = 2
+
+#: Versions :func:`load_results` accepts (older ones are upgraded).
+SUPPORTED_RESULTS_VERSIONS = (1, 2)
+
+#: Keys a provenance block must carry when present (all strings).
+PROVENANCE_REQUIRED = (
+    "git_sha",
+    "code_version",
+    "config_digest",
+    "host",
+    "platform",
+    "python",
+    "timestamp_utc",
+)
+
+
+class BenchResultsError(ValueError):
+    """A trajectory (or baseline) document failed validation on load."""
+
+
+def _is_number(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _validate_figure(record: Any, where: str, problems: List[str]) -> None:
+    if not isinstance(record, dict):
+        problems.append(f"{where}: figure record must be an object")
+        return
+    figure = record.get("figure")
+    if not isinstance(figure, str) or not figure:
+        problems.append(f"{where}: missing figure name")
+    if not isinstance(record.get("title"), str):
+        problems.append(f"{where}: missing title")
+    wall = record.get("wall_time_s")
+    if not _is_number(wall) or wall < 0:
+        problems.append(f"{where}: wall_time_s must be a non-negative number")
+    metrics = record.get("metrics")
+    if not isinstance(metrics, dict):
+        problems.append(f"{where}: metrics must be an object")
+    else:
+        for name, value in metrics.items():
+            if not isinstance(name, str):
+                problems.append(f"{where}: non-string metric name {name!r}")
+            elif value is not None and not _is_number(value):
+                problems.append(
+                    f"{where}: metric {name!r} must be a number or null"
+                )
+    if "derived" in record and not isinstance(record["derived"], bool):
+        problems.append(f"{where}: derived must be a boolean")
+    if "derived_from" in record and not isinstance(record["derived_from"], str):
+        problems.append(f"{where}: derived_from must be a string")
+
+
+def _validate_provenance(block: Any, where: str, problems: List[str]) -> None:
+    if not isinstance(block, dict):
+        problems.append(f"{where}: provenance must be an object")
+        return
+    for key in PROVENANCE_REQUIRED:
+        if not isinstance(block.get(key), str) or not block[key]:
+            problems.append(f"{where}: provenance missing {key!r}")
+
+
+def _validate_run(run: Any, where: str, problems: List[str]) -> None:
+    if not isinstance(run, dict):
+        problems.append(f"{where}: run record must be an object")
+        return
+    if not isinstance(run.get("label"), str) or not run["label"]:
+        problems.append(f"{where}: missing label")
+    for key in ("threads", "seed"):
+        if not isinstance(run.get(key), int) or isinstance(run.get(key), bool):
+            problems.append(f"{where}: {key} must be an integer")
+    if not _is_number(run.get("scale")):
+        problems.append(f"{where}: scale must be a number")
+    if not _is_number(run.get("total_wall_time_s")):
+        problems.append(f"{where}: total_wall_time_s must be a number")
+    figures = run.get("figures")
+    if not isinstance(figures, list):
+        problems.append(f"{where}: figures must be a list")
+    else:
+        for index, record in enumerate(figures):
+            _validate_figure(record, f"{where}.figures[{index}]", problems)
+    if "provenance" in run:
+        _validate_provenance(run["provenance"], where, problems)
+
+
+def validate_results(doc: Any, max_problems: int = 20) -> List[str]:
+    """Check a trajectory document; returns problems (empty = valid)."""
+    if not isinstance(doc, dict):
+        return [f"document must be a JSON object, got {type(doc).__name__}"]
+    problems: List[str] = []
+    version = doc.get("schema_version")
+    if version not in SUPPORTED_RESULTS_VERSIONS:
+        problems.append(
+            f"schema_version: expected one of {SUPPORTED_RESULTS_VERSIONS}, "
+            f"got {version!r}"
+        )
+        return problems
+    runs = doc.get("runs")
+    if not isinstance(runs, list):
+        return problems + ["document must contain a 'runs' list"]
+    for index, run in enumerate(runs):
+        _validate_run(run, f"runs[{index}]", problems)
+        if len(problems) >= max_problems:
+            problems.append("... (truncated)")
+            break
+    return problems
+
+
+def upgrade_results(doc: Dict[str, Any]) -> Dict[str, Any]:
+    """Lift a validated document to the current schema version in memory.
+
+    Legacy (v1) runs carry no provenance and no derived markers; the
+    upgrade records the fact rather than inventing either — consumers
+    treat a missing ``provenance`` as "pre-provenance run" and a
+    missing ``derived`` as false.
+    """
+    if doc.get("schema_version") == RESULTS_SCHEMA_VERSION:
+        return doc
+    upgraded = dict(doc)
+    upgraded["schema_version"] = RESULTS_SCHEMA_VERSION
+    return upgraded
+
+
+def load_results(path: Union[str, Path]) -> Dict[str, Any]:
+    """Load + validate a trajectory file, upgraded to the current schema.
+
+    Raises :class:`BenchResultsError` with a clear message on a missing
+    file, malformed JSON, an unsupported schema version, or any shape
+    problem — the error names the file and the first problems found.
+    """
+    path = Path(path)
+    try:
+        raw = path.read_text()
+    except OSError as err:
+        raise BenchResultsError(f"cannot read {path}: {err}") from err
+    try:
+        doc = json.loads(raw)
+    except ValueError as err:
+        raise BenchResultsError(f"{path} is not valid JSON: {err}") from err
+    problems = validate_results(doc)
+    if problems:
+        detail = "\n".join(f"  - {problem}" for problem in problems)
+        raise BenchResultsError(
+            f"{path} failed trajectory schema validation:\n{detail}"
+        )
+    return upgrade_results(doc)

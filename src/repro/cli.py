@@ -27,6 +27,13 @@ Subcommands:
   ``resume`` (run the continuation to completion), and ``sample``
   (SMARTS-style interval sampling with per-metric confidence
   intervals; exits 1 when a CI exceeds the threshold).
+* ``bench`` — run-level results observability over the benchmark
+  trajectory (``BENCH_results.json``): ``gate`` (paper-fidelity +
+  baseline-drift regression gate; exits 1 on drift beyond tolerance),
+  ``render`` (self-contained HTML dashboard, repro vs paper plus perf
+  trajectory), ``figures`` (versioned Vega-Lite + CSV per registry
+  figure), ``accept`` (snapshot the current run as the accepted
+  baseline), and ``validate`` (schema-check the trajectory file).
 
 Examples::
 
@@ -47,6 +54,8 @@ Examples::
     python -m repro snapshot resume --in qe.ckpt.json
     python -m repro snapshot sample --workload HM --ops 200 --intervals 7
     python -m repro faults --scheme proteus --workload queue --warm-start 6
+    python -m repro bench gate --fidelity-only
+    python -m repro bench render --out dashboard.html
 
 Scheme and workload names are forgiving: ``sw``/``pmem``, ``atom``,
 ``proteus``, ``btree``/``BT``, ``queue``/``QE``, … — an unknown name
@@ -554,6 +563,79 @@ def cmd_verify(args) -> int:
     return 0 if sweep.passed else 1
 
 
+def cmd_bench(args) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.analysis.figures import emit_figures
+    from repro.bench import (
+        BenchResultsError,
+        build_baseline,
+        load_baseline,
+        load_results,
+        render_dashboard,
+        run_gate,
+    )
+    from repro.bench.gate import DEFAULT_DRIFT_TOLERANCE
+
+    try:
+        doc = load_results(args.results)
+    except BenchResultsError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+
+    if args.action == "validate":
+        print(f"{args.results}: valid "
+              f"(schema v{doc['schema_version']}, {len(doc['runs'])} runs)")
+        return 0
+
+    if args.action == "accept":
+        baseline = build_baseline(doc)
+        path = Path(args.baseline)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(baseline, indent=2, sort_keys=True) + "\n")
+        print(f"accepted baseline from {len(baseline['figures'])} figures "
+              f"-> {path}")
+        return 0
+
+    if args.action == "figures":
+        paths = emit_figures(doc, args.out_dir, args.figures)
+        for path in paths:
+            print(f"wrote {path}")
+        return 0
+
+    baseline = None
+    baseline_problem = None
+    if not args.fidelity_only:
+        try:
+            baseline = load_baseline(args.baseline)
+        except BenchResultsError as err:
+            baseline_problem = str(err)
+
+    drift = (
+        DEFAULT_DRIFT_TOLERANCE
+        if args.drift_tolerance is None
+        else args.drift_tolerance
+    )
+    report = run_gate(
+        doc, baseline=baseline, fidelity_only=args.fidelity_only,
+        drift_tolerance=drift,
+    )
+
+    if args.action == "render":
+        html = render_dashboard(doc, report)
+        with open(args.out, "w") as handle:
+            handle.write(html)
+        print(f"wrote {args.out} ({len(doc['runs'])} runs, "
+              f"{len(report.findings)} gate findings)")
+        return 0
+
+    if baseline_problem is not None:
+        print(f"warning: {baseline_problem}", file=sys.stderr)
+    print(report.render(), end="")
+    return report.exit_code
+
+
 def cmd_trace(args) -> int:
     from repro.obs import (
         Tracer,
@@ -828,6 +910,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="report estimates even when a CI exceeds the threshold",
     )
     snapshot_parser.set_defaults(func=cmd_snapshot)
+
+    bench_parser = subparsers.add_parser(
+        "bench",
+        help="results observability: regression gate, dashboard, figures",
+    )
+    bench_parser.add_argument(
+        "action", choices=["gate", "render", "figures", "accept", "validate"]
+    )
+    bench_parser.add_argument(
+        "--results", default="BENCH_results.json", metavar="FILE",
+        help="benchmark trajectory file (default: BENCH_results.json)",
+    )
+    bench_parser.add_argument(
+        "--baseline", default="benchmarks/BASELINE.json", metavar="FILE",
+        help="accepted-baseline file (default: benchmarks/BASELINE.json)",
+    )
+    bench_parser.add_argument(
+        "--fidelity-only", action="store_true",
+        help="gate against the paper's numbers only; skip baseline drift",
+    )
+    bench_parser.add_argument(
+        "--drift-tolerance", type=float, default=None, metavar="REL",
+        help="relative drift allowed vs the baseline (default 0.05)",
+    )
+    bench_parser.add_argument(
+        "--out", default="dashboard.html", metavar="FILE",
+        help="dashboard output path (render)",
+    )
+    bench_parser.add_argument(
+        "--out-dir", default="figures", metavar="DIR",
+        help="Vega-Lite/CSV output directory (figures)",
+    )
+    bench_parser.add_argument(
+        "--figures", nargs="*", default=None, metavar="FIG",
+        help="subset of registry figures to emit (figures)",
+    )
+    bench_parser.set_defaults(func=cmd_bench)
 
     lint_parser = subparsers.add_parser(
         "lint",

@@ -1,0 +1,217 @@
+"""Tests for the benchmark-trajectory schema (repro.bench.schema)."""
+
+import json
+
+import pytest
+
+from repro.bench.schema import (
+    PROVENANCE_REQUIRED,
+    RESULTS_SCHEMA_VERSION,
+    SUPPORTED_RESULTS_VERSIONS,
+    BenchResultsError,
+    load_results,
+    upgrade_results,
+    validate_results,
+)
+
+
+def make_run(**overrides):
+    run = {
+        "label": "run-a",
+        "threads": 4,
+        "scale": 1.0,
+        "seed": 7,
+        "total_wall_time_s": 12.5,
+        "figures": [
+            {
+                "figure": "fig6",
+                "title": "Figure 6",
+                "wall_time_s": 12.5,
+                "metrics": {"Proteus": 1.46, "ATOM": 1.33},
+            }
+        ],
+    }
+    run.update(overrides)
+    return run
+
+
+def make_doc(version=RESULTS_SCHEMA_VERSION, runs=None):
+    return {
+        "schema_version": version,
+        "runs": [make_run()] if runs is None else runs,
+    }
+
+
+def make_provenance():
+    return {key: f"<{key}>" for key in PROVENANCE_REQUIRED}
+
+
+# -- validate_results -------------------------------------------------------
+
+
+def test_valid_v2_doc_has_no_problems():
+    assert validate_results(make_doc()) == []
+
+
+def test_valid_v1_doc_accepted():
+    assert validate_results(make_doc(version=1)) == []
+
+
+def test_non_object_document_rejected():
+    problems = validate_results(["not", "a", "doc"])
+    assert len(problems) == 1
+    assert "JSON object" in problems[0]
+
+
+def test_unsupported_version_rejected_with_supported_list():
+    problems = validate_results(make_doc(version=99))
+    assert len(problems) == 1
+    assert "99" in problems[0]
+    assert str(SUPPORTED_RESULTS_VERSIONS) in problems[0]
+
+
+def test_missing_runs_list_rejected():
+    problems = validate_results({"schema_version": RESULTS_SCHEMA_VERSION})
+    assert any("'runs' list" in p for p in problems)
+
+
+def test_run_missing_label_named_in_problem():
+    doc = make_doc(runs=[make_run(label="")])
+    problems = validate_results(doc)
+    assert any("runs[0]" in p and "label" in p for p in problems)
+
+
+def test_run_rejects_non_integer_threads():
+    doc = make_doc(runs=[make_run(threads="four")])
+    assert any("threads" in p for p in validate_results(doc))
+
+
+def test_run_rejects_boolean_seed():
+    doc = make_doc(runs=[make_run(seed=True)])
+    assert any("seed" in p for p in validate_results(doc))
+
+
+def test_figure_rejects_negative_wall_time():
+    run = make_run()
+    run["figures"][0]["wall_time_s"] = -1.0
+    problems = validate_results(make_doc(runs=[run]))
+    assert any("wall_time_s" in p for p in problems)
+
+
+def test_figure_rejects_non_numeric_metric():
+    run = make_run()
+    run["figures"][0]["metrics"]["Proteus"] = "fast"
+    problems = validate_results(make_doc(runs=[run]))
+    assert any("'Proteus'" in p for p in problems)
+
+
+def test_figure_allows_null_metric():
+    run = make_run()
+    run["figures"][0]["metrics"]["Proteus"] = None
+    assert validate_results(make_doc(runs=[run])) == []
+
+
+def test_figure_rejects_non_boolean_derived():
+    run = make_run()
+    run["figures"][0]["derived"] = "yes"
+    problems = validate_results(make_doc(runs=[run]))
+    assert any("derived" in p for p in problems)
+
+
+def test_figure_accepts_derived_markers():
+    run = make_run()
+    run["figures"][0]["derived"] = True
+    run["figures"][0]["derived_from"] = "fig6"
+    assert validate_results(make_doc(runs=[run])) == []
+
+
+def test_provenance_missing_key_rejected():
+    provenance = make_provenance()
+    del provenance["config_digest"]
+    run = make_run(provenance=provenance)
+    problems = validate_results(make_doc(runs=[run]))
+    assert any("config_digest" in p for p in problems)
+
+
+def test_provenance_complete_block_accepted():
+    run = make_run(provenance=make_provenance())
+    assert validate_results(make_doc(runs=[run])) == []
+
+
+def test_problem_list_truncated_at_cap():
+    runs = [make_run(label="") for _ in range(50)]
+    problems = validate_results(make_doc(runs=runs), max_problems=5)
+    assert problems[-1] == "... (truncated)"
+    assert len(problems) <= 7
+
+
+# -- upgrade_results --------------------------------------------------------
+
+
+def test_upgrade_lifts_v1_to_current_version():
+    upgraded = upgrade_results(make_doc(version=1))
+    assert upgraded["schema_version"] == RESULTS_SCHEMA_VERSION
+
+
+def test_upgrade_leaves_current_version_untouched():
+    doc = make_doc()
+    assert upgrade_results(doc) is doc
+
+
+def test_upgrade_does_not_invent_provenance():
+    upgraded = upgrade_results(make_doc(version=1))
+    assert "provenance" not in upgraded["runs"][0]
+
+
+# -- load_results -----------------------------------------------------------
+
+
+def test_load_missing_file_raises_with_path(tmp_path):
+    missing = tmp_path / "nope.json"
+    with pytest.raises(BenchResultsError, match="nope.json"):
+        load_results(missing)
+
+
+def test_load_malformed_json_raises_clear_error(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text("{not json")
+    with pytest.raises(BenchResultsError, match="not valid JSON"):
+        load_results(path)
+
+
+def test_load_version_skewed_file_rejected(tmp_path):
+    path = tmp_path / "skew.json"
+    path.write_text(json.dumps(make_doc(version=99)))
+    with pytest.raises(BenchResultsError) as excinfo:
+        load_results(path)
+    assert "schema validation" in str(excinfo.value)
+    assert "99" in str(excinfo.value)
+
+
+def test_load_corrupt_shape_lists_problems(tmp_path):
+    doc = make_doc(runs=[make_run(label="", threads="x")])
+    path = tmp_path / "corrupt.json"
+    path.write_text(json.dumps(doc))
+    with pytest.raises(BenchResultsError) as excinfo:
+        load_results(path)
+    message = str(excinfo.value)
+    assert "  - " in message  # bulleted problem list
+    assert "label" in message and "threads" in message
+
+
+def test_load_valid_v1_file_upgraded(tmp_path):
+    path = tmp_path / "v1.json"
+    path.write_text(json.dumps(make_doc(version=1)))
+    doc = load_results(path)
+    assert doc["schema_version"] == RESULTS_SCHEMA_VERSION
+    assert doc["runs"][0]["label"] == "run-a"
+
+
+def test_committed_trajectory_validates():
+    """The checked-in BENCH_results.json must always load cleanly."""
+    from pathlib import Path
+
+    repo_root = Path(__file__).resolve().parent.parent
+    doc = load_results(repo_root / "BENCH_results.json")
+    assert doc["schema_version"] == RESULTS_SCHEMA_VERSION
+    assert len(doc["runs"]) >= 4
