@@ -45,7 +45,24 @@ DEFAULT_DRIFT_TOLERANCE = 0.05
 WALLTIME_WARN_RATIO = 2.0
 
 #: Run-context keys that must match for drift comparison to be meaningful.
-CONTEXT_KEYS = ("threads", "scale", "seed")
+#: ``engine`` selects the simulation driver (reference per-cycle loop vs
+#: the batch-stepped fast engine); the two are byte-identical in metrics
+#: by contract but wildly different in wall time, so mixed-engine drift
+#: comparison of wall times would be meaningless.
+CONTEXT_KEYS = ("threads", "scale", "seed", "engine")
+
+
+def _normalize_context(context: Dict[str, Any]) -> Dict[str, Any]:
+    """Fill context defaults for records that predate newer knobs.
+
+    Trajectories and baselines recorded before the ``engine`` knob
+    existed are reference-engine runs; making that explicit keeps old
+    baselines comparable instead of tripping the context-mismatch skip.
+    """
+    normalized = {key: context.get(key) for key in CONTEXT_KEYS}
+    if normalized.get("engine") is None:
+        normalized["engine"] = "reference"
+    return normalized
 
 
 @dataclass(frozen=True)
@@ -130,7 +147,7 @@ class GateReport:
 
 
 def _run_context(run: Dict[str, Any]) -> Dict[str, Any]:
-    return {key: run.get(key) for key in CONTEXT_KEYS}
+    return _normalize_context(run)
 
 
 def _contexts_by_label(doc: Dict[str, Any]) -> Dict[str, Dict[str, Any]]:
@@ -281,7 +298,11 @@ def _drift_findings(
         label, record = entry
         context = contexts.get(label, {})
         base_context = base_entry.get("context", {})
-        if base_context and context and base_context != context:
+        if (
+            base_context
+            and context
+            and _normalize_context(base_context) != context
+        ):
             findings.append(
                 GateFinding(
                     figure=name, metric="*", check="drift", status="SKIP",

@@ -1,0 +1,43 @@
+"""The batch-stepped fast engine (``SystemConfig.engine == "fast"``).
+
+``repro.sim.fastpath`` advances the *same* machine models as the
+reference engine but in multi-cycle quanta instead of one ``tick()``
+per model per cycle:
+
+* :mod:`~repro.sim.fastpath.engine` — a :class:`FastEngine` with a
+  typed completion ring beside the generic event heap; ring and heap
+  share one sequence counter, so merged firing preserves the reference
+  engine's exact global ``(cycle, seq)`` event order.
+* :mod:`~repro.sim.fastpath.burst` — structure-of-arrays execution of
+  the OoO core's in-flight window: runs of ALU instructions are solved
+  with exact per-instruction dispatch/complete/retire recurrences
+  (numpy arrays), eliding the per-cycle tick entirely.
+* :mod:`~repro.sim.fastpath.driver` — the quantum run loop: cores that
+  provably repeat a no-progress stall cycle sleep and replay the
+  recorded counter delta, whole quanta are aggregated with numpy when
+  every core is bursting or sleeping, and event-horizon computation
+  skips quiescent intervals in O(1).
+* :mod:`~repro.sim.fastpath.warm` — a batched cache-warm planner that
+  reproduces the sequential warm path's final LRU state and eviction
+  counters exactly.
+
+Equivalence is a hard contract: byte-identical ``Stats`` and identical
+``MachineSnapshot`` state versus the reference engine, enforced by the
+pytest matrix in ``tests/test_engine_equivalence.py`` and bisectable
+with ``repro engine diff``.  ``repro.obs`` tracing forces the reference
+path (see ``docs/fast_engine.md``).
+"""
+
+from __future__ import annotations
+
+#: Version tag of the fastpath implementation.  Folded into sweep cache
+#: keys (``CellSpec.describe``) so cached fast-engine results go stale
+#: whenever the fast engine's behavior could change.  Bump on any change
+#: to the fastpath modules.
+FASTPATH_VERSION = "1"
+
+from repro.sim.fastpath.engine import FastEngine
+from repro.sim.fastpath.driver import run_fast
+from repro.sim.fastpath.warm import batched_warm
+
+__all__ = ["FASTPATH_VERSION", "FastEngine", "run_fast", "batched_warm"]

@@ -1,0 +1,174 @@
+"""Bisect the first cycle where the two engines diverge.
+
+When the equivalence matrix (``tests/test_engine_equivalence.py``)
+reports a mismatch, the failing assertion names the cell but not the
+*moment* the fast engine went wrong — and by the end of a run the
+original divergence is buried under millions of downstream deltas.
+``repro engine diff`` finds the moment: it runs the cell under both
+engines to completion, and if they disagree, bisects on the halt cycle
+— both engines support an exact mid-run stop (``halt_at_cycle`` forces
+a quantum split in the fast driver) — re-running the pair to each probe
+cycle and comparing a state fingerprint (Stats counters in creation
+order, clock, per-core front-end and ROB positions).
+
+Bisection assumes divergence is *persistent*: once the engines disagree
+at cycle c they still disagree at every later probe.  Counter streams
+are append-only and both engines are deterministic, so a transient
+disagreement that heals by luck is possible in principle but has never
+been observed; the report carries the raw endpoint fingerprints so a
+suspicious result can be checked by hand.
+
+Cost is O(log(cycles)) full re-runs of the prefix — fine for the small
+cells equivalence failures reproduce on (shrink the cell first if a
+paper-scale cell is the only reproducer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.sim.engine import SimulationHalted
+from repro.sim.simulator import Simulator
+
+#: A fingerprint is picklable plain data so probes can also run in
+#: worker processes if a caller wants to parallelize the bisection.
+Fingerprint = Dict[str, Any]
+
+#: Builds a fresh simulator for one engine ("reference" | "fast").
+SimBuilder = Callable[[str], Simulator]
+
+
+def state_fingerprint(sim: Simulator) -> Fingerprint:
+    """Comparable mid-run state of a (possibly halted) machine.
+
+    Counters carry both values and creation order (the serialized form
+    preserves insertion order, so order differences are real
+    divergences).  Core positions localize a divergence faster than
+    counters alone when a fast-engine bug perturbs timing before it
+    perturbs accounting.
+    """
+    return {
+        "cycle": sim.engine.cycle,
+        "counters": dict(sim.stats.counters),
+        "counter_order": list(sim.stats.counters),
+        "cores": [
+            {
+                "core": core.core_id,
+                "pc": core.frontend.pc,
+                "rob": len(core.rob),
+                "store_buffer": len(core.store_buffer._queue)
+                + core.store_buffer._in_flight,
+            }
+            for core in sim.cores
+        ],
+    }
+
+
+def _diff_keys(ref: Fingerprint, fast: Fingerprint, limit: int = 8) -> List[str]:
+    """Human-readable lines describing how two fingerprints differ."""
+    lines: List[str] = []
+    if ref["cycle"] != fast["cycle"]:
+        lines.append(f"cycle: reference={ref['cycle']} fast={fast['cycle']}")
+    ref_counters: Dict[str, int] = ref["counters"]
+    fast_counters: Dict[str, int] = fast["counters"]
+    for name in sorted(set(ref_counters) | set(fast_counters)):
+        if ref_counters.get(name) != fast_counters.get(name):
+            lines.append(
+                f"counter {name}: reference={ref_counters.get(name)} "
+                f"fast={fast_counters.get(name)}"
+            )
+            if len(lines) >= limit:
+                lines.append("...")
+                return lines
+    if ref["counter_order"] != fast["counter_order"]:
+        lines.append("counter creation order differs")
+    for ref_core, fast_core in zip(ref["cores"], fast["cores"]):
+        if ref_core != fast_core:
+            lines.append(
+                f"core {ref_core['core']}: reference={ref_core} "
+                f"fast={fast_core}"
+            )
+    return lines
+
+
+@dataclass
+class EngineDiff:
+    """Outcome of one divergence hunt."""
+
+    identical: bool
+    #: first probed cycle at which the fingerprints differ (None when
+    #: the full runs already matched).
+    first_divergent_cycle: Optional[int] = None
+    #: last probed cycle at which they still matched.
+    last_identical_cycle: Optional[int] = None
+    detail: List[str] = field(default_factory=list)
+    probes: int = 0
+    final: Tuple[Optional[Fingerprint], Optional[Fingerprint]] = (None, None)
+
+    def summary(self) -> str:
+        if self.identical:
+            return "engines are identical (full-run fingerprints match)"
+        lines = [
+            f"engines diverge at cycle {self.first_divergent_cycle} "
+            f"(identical through cycle {self.last_identical_cycle}; "
+            f"{self.probes} bisection probe(s))"
+        ]
+        lines += [f"  {line}" for line in self.detail]
+        return "\n".join(lines)
+
+
+def _run_to(build: SimBuilder, engine: str, halt_cycle: Optional[int]) -> Fingerprint:
+    sim = build(engine)
+    if halt_cycle is not None:
+        sim.engine.halt_at_cycle(halt_cycle)
+    try:
+        sim.run()
+    except SimulationHalted:
+        pass
+    return state_fingerprint(sim)
+
+
+def bisect_divergence(
+    build: SimBuilder, progress: Optional[Callable[[str], None]] = None
+) -> EngineDiff:
+    """Find the first cycle where ``build("fast")`` leaves the reference.
+
+    ``build`` must return a *fresh* simulator each call (bisection
+    re-runs the cell once per probe per engine); ``progress`` receives
+    one line per probe for interactive use.
+    """
+    say = progress if progress is not None else (lambda line: None)
+    say("running both engines to completion...")
+    ref_full = _run_to(build, "reference", None)
+    fast_full = _run_to(build, "fast", None)
+    if ref_full == fast_full:
+        return EngineDiff(identical=True, final=(ref_full, fast_full))
+
+    # The runs disagree somewhere in [1, horizon]; probe by halting both
+    # engines at the midpoint until the window closes.
+    horizon = min(ref_full["cycle"], fast_full["cycle"])
+    lo, hi = 0, horizon  # fingerprints match at 0, differ at the horizon
+    probes = 0
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        probes += 1
+        ref_mid = _run_to(build, "reference", mid)
+        fast_mid = _run_to(build, "fast", mid)
+        if ref_mid == fast_mid:
+            say(f"probe {probes}: cycle {mid} identical")
+            lo = mid
+        else:
+            say(f"probe {probes}: cycle {mid} DIVERGED")
+            hi = mid
+            ref_at_hi, fast_at_hi = ref_mid, fast_mid
+    if hi == horizon:
+        ref_at_hi, fast_at_hi = ref_full, fast_full
+    return EngineDiff(
+        identical=False,
+        first_divergent_cycle=hi,
+        last_identical_cycle=lo,
+        detail=_diff_keys(ref_at_hi, fast_at_hi),
+        probes=probes,
+        final=(ref_full, fast_full),
+    )

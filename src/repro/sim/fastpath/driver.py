@@ -1,0 +1,377 @@
+"""The fast engine's quantum run loop.
+
+``run_fast`` replaces :meth:`repro.sim.simulator.Simulator.run`'s
+per-cycle loop when ``SystemConfig.engine == "fast"``.  It reproduces
+the reference loop's observable behavior exactly — byte-identical
+``Stats``, identical architectural state, the same exceptions with the
+same messages — while eliding most per-cycle work through three
+mechanisms:
+
+* **Bursts** — a core whose front end faces a long ALU run (and whose
+  ROB holds only ALU work, store buffer and persist counters empty) is
+  switched from per-cycle ``tick()`` to a solved
+  :class:`~repro.sim.fastpath.burst.BurstWindow`; its dispatch/retire/
+  completion cycles are consumed from numpy arrays.
+* **Sleep** — a core that provably repeats a pure no-progress stall
+  cycle (no scheduling activity, no high-water marks, only additive
+  counters) stops ticking; the recorded one-cycle counter delta is
+  replayed with :meth:`Stats.add_scaled` when an event fires or the run
+  settles.
+* **Bulk quanta** — when every unfinished core is bursting or sleeping,
+  the loop computes the event horizon (next real event, earliest burst
+  end, pending halt) and commits the whole quantum with vectorized
+  counter updates, then jumps the clock once.
+
+Mid-quantum halts (fault injection's ``halt_at_cycle``) force an exact
+split: the engine clamps the jump, and settling materializes every
+burst at precisely the halt cycle before ``SimulationHalted`` is
+raised.  ``repro.obs`` tracing needs per-event callbacks, so the
+simulator falls back to the reference loop when a tracer is enabled.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+import numpy as np
+
+from repro.cpu.ooo_core import DynInstr, OooCore
+from repro.sim.engine import SimulationHalted
+from repro.sim.fastpath.burst import INF, BurstWindow, TraceIndex, try_burst
+from repro.sim.fastpath.engine import FastEngine
+from repro.sim.stats import Stats
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.simulator import Simulator, SimResult
+
+#: Core driving modes.
+NORMAL = 0
+SLEEPING = 1
+BURSTING = 2
+
+#: Minimum quantum width worth committing in bulk; narrower windows are
+#: cheaper to walk per-iteration.
+MIN_BULK = 2
+
+
+class _CoreRun:
+    """Fast-loop driving state for one core."""
+
+    __slots__ = (
+        "core",
+        "index",
+        "mode",
+        "candidate",
+        "delta",
+        "sleep_iters",
+        "window",
+        "burst_block_seq",
+    )
+
+    def __init__(self, core: OooCore) -> None:
+        self.core = core
+        self.index = TraceIndex(core.frontend.trace)
+        self.mode = NORMAL
+        #: last tick made no progress — record the next one for sleep.
+        self.candidate = False
+        #: recorded one-iteration counter delta of the sleeping stall.
+        self.delta: Dict[str, int] = {}
+        #: iterations spent asleep since the delta was last settled.
+        self.sleep_iters = 0
+        self.window: Optional[BurstWindow] = None
+        #: seq of a non-ALU ROB entry that blocked burst entry; no
+        #: re-attempt until it retires (ROB drains in order).
+        self.burst_block_seq = -1
+
+
+def _install_complete_patch(core: OooCore, engine: FastEngine) -> None:
+    """Route this core's completion scheduling through the ring.
+
+    Installed as an instance attribute shadowing
+    :meth:`OooCore.complete_after`; besides being cheaper than a heap
+    push per instruction, it records the absolute completion cycle on
+    the dyn (``fp_complete``), which is what lets the burst solver price
+    an already in-flight window exactly.
+    """
+
+    def fast_complete_after(dyn: DynInstr, delay: int) -> None:
+        dyn.fp_complete = engine.cycle + delay
+        engine.ring_schedule(delay, core._mark_completed, dyn)
+
+    setattr(core, "complete_after", fast_complete_after)
+
+
+def _recorded_tick(run: _CoreRun, stats: Stats, engine: FastEngine) -> bool:
+    """Tick the core while recording its counter delta.
+
+    The tick is real — counters are applied as usual.  If it made no
+    progress, scheduled nothing, and touched no high-water mark, the
+    core provably repeats this exact cycle until some event fires, so it
+    is put to sleep with the recorded delta.
+    """
+    core = run.core
+    counters = stats.counters
+    delta: Dict[str, int] = {}
+    saw_set_max = False
+
+    def rec_add(name: str, amount: int = 1) -> None:
+        counters[name] += amount
+        delta[name] = delta.get(name, 0) + amount
+
+    def rec_set_max(name: str, value: int) -> None:
+        nonlocal saw_set_max
+        saw_set_max = True
+        current = counters.get(name)
+        if current is None or value > current:
+            counters[name] = value
+
+    activity_before = engine.activity
+    setattr(stats, "add", rec_add)
+    setattr(stats, "set_max", rec_set_max)
+    try:
+        progressed = core.tick()
+    finally:
+        delattr(stats, "add")
+        delattr(stats, "set_max")
+    run.candidate = not progressed
+    if not progressed and not saw_set_max and engine.activity == activity_before:
+        run.mode = SLEEPING
+        run.delta = delta
+        run.sleep_iters = 0
+    return progressed
+
+
+def _wake(run: _CoreRun, stats: Stats) -> None:
+    """Settle a sleeper's accrued iterations and resume normal ticking."""
+    stats.add_scaled(run.delta, run.sleep_iters)
+    run.sleep_iters = 0
+    run.mode = NORMAL
+    run.candidate = False
+
+
+def _settle_all(runs: List[_CoreRun], stats: Stats, engine: FastEngine) -> None:
+    """Bring every core to exact architectural state at the current cycle.
+
+    Called before any exception escapes the loop (halt, budget,
+    deadlock) so the machine the caller inspects is indistinguishable
+    from the reference engine's at the same cycle.  Events due at the
+    current cycle have not fired, matching the reference loop's raise
+    points.
+    """
+    for run in runs:
+        if run.mode == SLEEPING:
+            _wake(run, stats)
+        elif run.mode == BURSTING:
+            window = run.window
+            assert window is not None
+            window.materialize(engine, engine.cycle)
+            run.window = None
+            run.mode = NORMAL
+            run.candidate = False
+
+
+def _maybe_bulk(
+    runs: List[_CoreRun], engine: FastEngine, stats: Stats
+) -> None:
+    """Commit a whole quantum at once when every core bursts or sleeps.
+
+    The horizon is the earliest of: the next real event, the earliest
+    burst end, and a pending halt cycle.  Inside the quantum the
+    reference loop would iterate exactly the burst activity cycles,
+    their immediate successors, and the quantum's first cycle — that set
+    drives per-iteration accounting (stalls, sleep deltas) without
+    iterating.
+    """
+    bursts: List[_CoreRun] = []
+    sleepers: List[_CoreRun] = []
+    for run in runs:
+        if run.mode == BURSTING:
+            bursts.append(run)
+        elif run.mode == SLEEPING:
+            sleepers.append(run)
+        elif not run.core.finished():
+            return
+    if not bursts:
+        return
+    start = engine.cycle
+    stop: Optional[int] = None
+    for run in bursts:
+        window = run.window
+        assert window is not None
+        if stop is None or window.t_end < stop:
+            stop = window.t_end
+    assert stop is not None
+    next_event = engine.next_event_cycle()
+    if next_event is not None and next_event < stop:
+        stop = next_event
+    halt_cycle = engine._halt_cycle
+    if halt_cycle is not None and not engine.halted and start < halt_cycle < stop:
+        stop = halt_cycle
+    if stop >= INF:
+        # Every burst is a fully stalled shadow window and no event is
+        # pending to bound the quantum; the run loop's deadlock/settle
+        # paths own this case.
+        return
+    if stop - start < MIN_BULK:
+        return
+
+    parts = []
+    for run in bursts:
+        window = run.window
+        assert window is not None
+        parts.append(window.activity_in(start, stop))
+    merged = np.unique(np.concatenate(parts))
+    successors = merged + 1
+    iterated = np.unique(
+        np.concatenate(
+            (merged, successors[successors < stop], np.array([start], dtype=np.int64))
+        )
+    )
+    count = int(iterated.shape[0])
+    counters = stats.counters
+    for run in bursts:
+        window = run.window
+        assert window is not None
+        window.bulk_commit(counters, start, stop, iterated)
+    for run in sleepers:
+        run.sleep_iters += count
+    engine.fast_forward(stop)
+
+
+def run_fast(sim: "Simulator", max_cycles: int = 500_000_000) -> "SimResult":
+    """Run every core's trace to completion on the fast engine.
+
+    Equivalent to :meth:`Simulator.run`'s reference loop — same Stats
+    bytes, same final state, same exceptions — see the module docstring
+    for the mechanisms and ``docs/fast_engine.md`` for the argument.
+    """
+    from repro.sim.simulator import SimResult
+
+    engine = sim.engine
+    if not isinstance(engine, FastEngine):
+        raise TypeError("run_fast requires a FastEngine (config.engine='fast')")
+    if sim.sampler is not None:
+        raise RuntimeError("run_fast cannot sample; tracing uses the reference loop")
+    stats = sim.stats
+    counters = stats.counters
+    cores = sim.cores
+    runs = [_CoreRun(core) for core in cores]
+    for core in cores:
+        _install_complete_patch(core, engine)
+
+    while True:
+        cycle = engine.cycle
+        if engine.halted:
+            _settle_all(runs, stats, engine)
+            raise SimulationHalted(engine.cycle, engine.halt_reason)
+        heap = engine._heap
+        heap_due = bool(heap) and heap[0][0] <= cycle
+        for run in runs:
+            window = run.window
+            if window is None:
+                continue
+            if cycle >= window.t_end:
+                if cycle > window.t_end:
+                    raise RuntimeError(
+                        f"fastpath overshot a burst boundary "
+                        f"({cycle} > {window.t_end})"
+                    )
+                window.materialize(engine, window.t_end)
+            elif window.shadow and heap_due:
+                # Any heap event may be the shadow load's return; rebuild
+                # exact state before it fires.
+                window.materialize(engine, cycle)
+            else:
+                continue
+            run.window = None
+            run.mode = NORMAL
+            run.candidate = False
+        if all(core.finished() for core in cores):
+            break
+        if cycle >= max_cycles:
+            _settle_all(runs, stats, engine)
+            raise RuntimeError(
+                f"simulation exceeded its budget of {max_cycles} cycles "
+                f"at cycle {engine.cycle} "
+                f"(scheme={sim.scheme}, {sim._progress_report()})"
+            )
+        fired = engine.fire_due_events()
+        if engine.halted:
+            continue
+        if fired:
+            # Any real event can change what a sleeper's stall depends
+            # on; settle and let it tick again.  (Elided burst
+            # completions cannot — they touch no shared state.)
+            for run in runs:
+                if run.mode == SLEEPING:
+                    _wake(run, stats)
+        progress = False
+        elided = 0
+        for run in runs:
+            mode = run.mode
+            if mode == BURSTING:
+                window = run.window
+                assert window is not None
+                dispatched, retired, completions = window.step(counters, cycle)
+                if dispatched or retired:
+                    progress = True
+                elided += completions
+                continue
+            if mode == SLEEPING:
+                run.sleep_iters += 1
+                continue
+            core = run.core
+            if core.finished():
+                continue
+            blocked = run.burst_block_seq
+            if blocked >= 0 and (not core.rob or core.rob[0].seq > blocked):
+                run.burst_block_seq = blocked = -1
+            if blocked < 0:
+                window, block_seq = try_burst(core, run.index, cycle)
+                run.burst_block_seq = block_seq
+                if window is not None:
+                    run.window = window
+                    run.mode = BURSTING
+                    dispatched, retired, completions = window.step(counters, cycle)
+                    if dispatched or retired:
+                        progress = True
+                    elided += completions
+                    continue
+            if run.candidate:
+                if _recorded_tick(run, stats, engine):
+                    progress = True
+            else:
+                progressed = core.tick()
+                run.candidate = not progressed
+                if progressed:
+                    progress = True
+        if progress or fired or elided:
+            engine.advance(1)
+            if not engine.halted:
+                _maybe_bulk(runs, engine, stats)
+            continue
+        target = engine.next_event_cycle()
+        for run in runs:
+            if run.mode == BURSTING:
+                window = run.window
+                assert window is not None
+                upcoming = window.next_activity()
+                if upcoming is not None and (target is None or upcoming < target):
+                    target = upcoming
+        if target is None:
+            _settle_all(runs, stats, engine)
+            raise RuntimeError(
+                f"deadlock: no core can progress and no events are "
+                f"pending (scheme={sim.scheme}, {sim._progress_report()})"
+            )
+        engine.fast_forward(target)
+
+    sim.core_finish_cycle = engine.cycle
+    sim._final_drain()
+    stats.counters["cycles"] = engine.cycle
+    return SimResult(
+        scheme=sim.scheme,
+        config=sim.config,
+        stats=stats,
+        cycles=engine.cycle,
+    )

@@ -1,0 +1,139 @@
+"""Fast event engine: generic heap plus a typed completion ring.
+
+The reference :class:`~repro.sim.engine.Engine` schedules every event as
+a ``(cycle, seq, closure)`` heap entry.  The hottest events by far are
+instruction completions — one per dynamic instruction — and allocating a
+closure plus a heap push/pop for each is most of the engine's cost.
+
+:class:`FastEngine` adds a *completion ring*: a dict of per-cycle
+buckets holding ``(seq, fn, arg)`` triples (bound method + argument, no
+closure), with a small heap over the bucket cycles.  Crucially the ring
+draws sequence numbers from the *same* counter as the heap, so merged
+firing reproduces the reference engine's global event order exactly:
+events at one cycle fire in scheduling order regardless of which
+structure holds them.
+
+The ``activity`` counter increments on every schedule into either
+structure; the driver's sleep detector uses it to prove that a recorded
+stall tick had no hidden side effects.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.sim.engine import Engine
+
+#: One ring entry: (sequence number, callback, argument).
+RingEntry = Tuple[int, Callable[[Any], None], Any]
+
+
+class FastEngine(Engine):
+    """Engine with a typed completion ring beside the generic heap."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._ring: Dict[int, List[RingEntry]] = {}
+        self._ring_cycles: List[int] = []
+        self._ring_count = 0
+        #: bumped on every schedule (heap or ring); the sleep detector
+        #: snapshots it around a recorded tick.
+        self.activity = 0
+
+    # -- scheduling --------------------------------------------------------
+
+    def schedule(self, delay: int, callback: Callable[[], None]) -> None:
+        self.activity += 1
+        super().schedule(delay, callback)
+
+    def ring_schedule(
+        self, delay: int, fn: Callable[[Any], None], arg: Any
+    ) -> None:
+        """Schedule ``fn(arg)`` after ``delay`` cycles on the ring."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        self.ring_schedule_at(self.cycle + delay, fn, arg)
+
+    def ring_schedule_at(
+        self, cycle: int, fn: Callable[[Any], None], arg: Any
+    ) -> None:
+        """Schedule ``fn(arg)`` at absolute ``cycle`` on the ring."""
+        if cycle < self.cycle:
+            raise ValueError(
+                f"cannot schedule into the past (cycle={cycle} < {self.cycle})"
+            )
+        self.activity += 1
+        seq = next(self._sequence)
+        bucket = self._ring.get(cycle)
+        if bucket is None:
+            self._ring[cycle] = [(seq, fn, arg)]
+            heapq.heappush(self._ring_cycles, cycle)
+        else:
+            bucket.append((seq, fn, arg))
+        self._ring_count += 1
+
+    # -- introspection -----------------------------------------------------
+
+    def pending_events(self) -> int:
+        return len(self._heap) + self._ring_count
+
+    def next_event_cycle(self) -> Optional[int]:
+        heap_cycle = self._heap[0][0] if self._heap else None
+        ring_cycle = self._ring_cycles[0] if self._ring_cycles else None
+        if heap_cycle is None:
+            return ring_cycle
+        if ring_cycle is None:
+            return heap_cycle
+        return min(heap_cycle, ring_cycle)
+
+    # -- firing ------------------------------------------------------------
+
+    def fire_due_events(self) -> int:
+        """Fire all due heap and ring events in global (cycle, seq) order.
+
+        Either structure may grow while callbacks run; ring buckets stay
+        seq-sorted because the shared counter is monotonic.
+        """
+        fired = 0
+        now = self.cycle
+        heap = self._heap
+        ring = self._ring
+        ring_cycles = self._ring_cycles
+        while True:
+            heap_due = bool(heap) and heap[0][0] <= now
+            ring_due = bool(ring_cycles) and ring_cycles[0] <= now
+            if not heap_due and not ring_due:
+                return fired
+            take_ring: bool
+            if heap_due and ring_due:
+                heap_cycle, heap_seq, _ = heap[0]
+                ring_cycle = ring_cycles[0]
+                if ring_cycle != heap_cycle:
+                    take_ring = ring_cycle < heap_cycle
+                else:
+                    take_ring = ring[ring_cycle][0][0] < heap_seq
+            else:
+                take_ring = ring_due
+            if take_ring:
+                bucket_cycle = ring_cycles[0]
+                bucket = ring[bucket_cycle]
+                _, fn, arg = bucket.pop(0)
+                self._ring_count -= 1
+                if not bucket:
+                    del ring[bucket_cycle]
+                    heapq.heappop(ring_cycles)
+                fn(arg)
+            else:
+                _, _, callback = heapq.heappop(heap)
+                callback()
+            fired += 1
+
+    def run_until_idle(self, max_cycles: int = 10_000_000) -> None:
+        start = self.cycle
+        while self._heap or self._ring_count:
+            if self.cycle - start > max_cycles:
+                raise RuntimeError(
+                    f"engine did not go idle within {max_cycles} cycles"
+                )
+            self.advance_to_next_event()

@@ -10,7 +10,7 @@ simulate.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
 from repro.core.atom import AtomAdapter
 from repro.core.codegen import CodeGenerator
@@ -87,7 +87,12 @@ class Simulator:
             )
         self.config = config
         self.scheme = scheme
-        self.engine = Engine()
+        if config.engine == "fast":
+            from repro.sim.fastpath.engine import FastEngine
+
+            self.engine: Engine = FastEngine()
+        else:
+            self.engine = Engine()
         self.stats = Stats()
         self.tracer = tracer if tracer is not None else NULL_TRACER
         if self.tracer.enabled:
@@ -150,9 +155,17 @@ class Simulator:
                 # The circular software log wraps every few thousand
                 # transactions, so after the init fast-forward it is
                 # cache resident like the rest of the working set.
-                for line in range(layout.sw_log_base, layout.sw_log_base + layout.sw_log_size, 64):
-                    self.hierarchy.warm(thread_id, line)
-                self.hierarchy.warm(thread_id, layout.logflag_addr)
+                self._warm_lines(
+                    thread_id,
+                    (
+                        *range(
+                            layout.sw_log_base,
+                            layout.sw_log_base + layout.sw_log_size,
+                            64,
+                        ),
+                        layout.logflag_addr,
+                    ),
+                )
 
         adapter = None
         if self.scheme.is_sshl or self.scheme.is_hardware:
@@ -184,8 +197,7 @@ class Simulator:
         if adapter is not None:
             adapter.tracer = self.tracer
         if warm:
-            for line in op_trace.warm_lines:
-                self.hierarchy.warm(thread_id, line)
+            self._warm_lines(thread_id, op_trace.warm_lines)
 
         core = OooCore(
             core_id=thread_id,
@@ -199,6 +211,22 @@ class Simulator:
             tracer=self.tracer,
         )
         self.cores.append(core)
+
+    def _warm_lines(self, thread_id: int, lines: Iterable[int]) -> None:
+        """Warm a sequence of lines, batched under the fast engine.
+
+        The batched pass produces the same final LRU state and eviction
+        counters as per-line :meth:`CacheHierarchy.warm` (see
+        ``repro.sim.fastpath.warm``); it exists because warmup is a
+        visible fraction of small-cell build time.
+        """
+        if self.config.engine == "fast":
+            from repro.sim.fastpath.warm import batched_warm
+
+            batched_warm(self.hierarchy, thread_id, lines)
+        else:
+            for line in lines:
+                self.hierarchy.warm(thread_id, line)
 
     # -- segmented execution ---------------------------------------------------------
 
@@ -245,7 +273,18 @@ class Simulator:
     # -- the cycle loop -------------------------------------------------------------
 
     def run(self, max_cycles: int = 500_000_000) -> SimResult:
-        """Run every core's trace to completion."""
+        """Run every core's trace to completion.
+
+        ``config.engine == "fast"`` dispatches to the batch-stepped
+        driver (:func:`repro.sim.fastpath.driver.run_fast`), which is
+        byte-identical in observable behavior.  An enabled tracer needs
+        the per-cycle loop's event granularity, so tracing runs fall
+        back to the reference loop regardless of the engine knob.
+        """
+        if self.config.engine == "fast" and not self.tracer.enabled:
+            from repro.sim.fastpath.driver import run_fast
+
+            return run_fast(self, max_cycles=max_cycles)
         engine = self.engine
         cores = self.cores
         sampler = self.sampler

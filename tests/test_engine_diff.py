@@ -1,0 +1,78 @@
+"""The ``repro engine diff`` bisection tool.
+
+A divergence hunter is only trustworthy if it (a) declares truly
+identical runs identical and (b) localizes a known divergence to the
+exact cycle it first becomes observable.  The second property is tested
+by sabotage: a counter perturbation scheduled into the fast run at a
+known cycle must be found at that cycle + 1 (the reference loop raises
+a pending halt *before* firing that cycle's events, so the perturbation
+is first observable one cycle later).
+"""
+
+from __future__ import annotations
+
+from repro.core.schemes import Scheme
+from repro.sim.config import fast_nvm_config
+from repro.sim.fastpath.diff import bisect_divergence, state_fingerprint
+from repro.sim.simulator import Simulator
+from repro.workloads import QueueWorkload
+from repro.workloads.base import generate_traces
+
+TRACES = generate_traces(
+    QueueWorkload, threads=1, seed=7, init_ops=16, sim_ops=4
+)
+
+
+def _build(engine: str) -> Simulator:
+    config = fast_nvm_config(cores=1).replace(engine=engine)
+    return Simulator(config, Scheme.PROTEUS, TRACES)
+
+
+def test_identical_engines_report_identical():
+    diff = bisect_divergence(_build)
+    assert diff.identical
+    assert diff.first_divergent_cycle is None
+    assert "identical" in diff.summary()
+
+
+def test_bisection_localizes_a_seeded_divergence():
+    sabotage_at = 3000
+
+    def build(engine: str) -> Simulator:
+        sim = _build(engine)
+        if engine == "fast":
+            sim.engine.schedule(sabotage_at, lambda: sim.stats.add("sabotage"))
+        return sim
+
+    progress = []
+    diff = bisect_divergence(build, progress=progress.append)
+    assert not diff.identical
+    assert diff.first_divergent_cycle == sabotage_at + 1
+    assert diff.last_identical_cycle == sabotage_at
+    assert any("sabotage" in line for line in diff.detail)
+    assert diff.probes > 0
+    assert len(progress) == diff.probes + 1  # the initial full-run line
+    assert str(sabotage_at + 1) in diff.summary()
+
+
+def test_fingerprint_covers_counters_order_and_cores():
+    sim = _build("reference")
+    sim.run()
+    fingerprint = state_fingerprint(sim)
+    assert fingerprint["cycle"] == sim.engine.cycle
+    assert fingerprint["counters"] == dict(sim.stats.counters)
+    assert fingerprint["counter_order"] == list(sim.stats.counters)
+    assert len(fingerprint["cores"]) == 1
+    assert fingerprint["cores"][0]["rob"] == 0
+
+
+def test_cli_engine_diff_identical_cell(capsys):
+    from repro.cli import main
+
+    code = main([
+        "engine", "diff", "--benchmark", "QE", "--ops", "4",
+        "--init", "16", "--seed", "7", "--quiet",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "identical" in out

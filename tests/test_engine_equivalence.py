@@ -1,0 +1,162 @@
+"""Cross-engine equivalence: the fast engine's hard contract.
+
+The batch-stepped fast engine (``SystemConfig.engine == "fast"``) is
+only allowed to exist because it is *indistinguishable* from the
+reference per-cycle loop: byte-identical ``Stats`` — same counter
+values AND same counter creation order, since serialization preserves
+insertion order — the same cycle count, and an identical serialized
+``MachineSnapshot``.  This module is the enforcement: a matrix over
+schemes x workloads x seeds, multithreaded cells, mid-run halts, and
+the tracer fallback.  Any divergence is a fast-engine bug by
+definition; bisect it with ``repro engine diff``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.schemes import FIGURE_ORDER, Scheme
+from repro.sim.config import fast_nvm_config
+from repro.sim.engine import SimulationHalted
+from repro.sim.simulator import Simulator
+from repro.snapshot.format import snapshot_bytes
+from repro.snapshot.state import capture_machine
+from repro.workloads import (
+    HashMapWorkload,
+    QueueWorkload,
+    StringSwapWorkload,
+)
+from repro.workloads.base import generate_traces
+
+WORKLOADS = {
+    "queue": QueueWorkload,
+    "hashmap": HashMapWorkload,
+    "stringswap": StringSwapWorkload,
+}
+
+#: Three seeds per cell: the issue's floor for the equivalence matrix.
+SEEDS = (7, 31, 1009)
+
+#: Deliberately tiny cells — the matrix covers breadth, not scale; the
+#: bench suite measures the fast engine at paper scale.
+SIZING = dict(init_ops=32, sim_ops=10)
+
+
+def build_sim(workload, scheme, seed, engine, threads=1, sizing=None):
+    sizing = sizing if sizing is not None else SIZING
+    traces = generate_traces(
+        WORKLOADS[workload], threads=threads, seed=seed, **sizing
+    )
+    config = fast_nvm_config(cores=threads).replace(engine=engine)
+    return Simulator(config, scheme, traces)
+
+
+def run_pair(workload, scheme, seed, threads=1, sizing=None):
+    sims = {}
+    results = {}
+    for engine in ("reference", "fast"):
+        sim = build_sim(workload, scheme, seed, engine, threads, sizing)
+        results[engine] = sim.run()
+        sims[engine] = sim
+    return results, sims
+
+
+def assert_equivalent(workload, scheme, seed, threads=1, sizing=None):
+    results, sims = run_pair(workload, scheme, seed, threads, sizing)
+    ref, fast = results["reference"], results["fast"]
+    # Counter values, then creation order: Stats serializes counters in
+    # insertion order, so both must match for byte identity.
+    assert dict(ref.stats.counters) == dict(fast.stats.counters)
+    assert list(ref.stats.counters) == list(fast.stats.counters)
+    assert ref.cycles == fast.cycles
+    assert snapshot_bytes(capture_machine(sims["reference"])) == snapshot_bytes(
+        capture_machine(sims["fast"])
+    )
+
+
+# ---------------------------------------------------------------------------
+# the matrix
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+@pytest.mark.parametrize(
+    "scheme", FIGURE_ORDER, ids=[scheme.value for scheme in FIGURE_ORDER]
+)
+def test_figure_schemes_byte_identical(workload, scheme, seed):
+    """Every figure-6 scheme, every workload, three seeds."""
+    assert_equivalent(workload, scheme, seed)
+
+
+@pytest.mark.parametrize("scheme", list(Scheme), ids=[s.value for s in Scheme])
+def test_every_scheme_byte_identical(scheme):
+    """Schemes outside the figure set (software, strict, ...) too."""
+    assert_equivalent("queue", scheme, SEEDS[0])
+
+
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+def test_multithreaded_byte_identical(workload):
+    """Cross-core interleavings (shared LLC, memory controller)."""
+    assert_equivalent(workload, Scheme.PROTEUS, SEEDS[1], threads=2)
+
+
+def test_fast_engine_is_deterministic():
+    first, _ = run_pair("queue", Scheme.PROTEUS, SEEDS[0])
+    second, _ = run_pair("queue", Scheme.PROTEUS, SEEDS[0])
+    assert dict(first["fast"].stats.counters) == dict(
+        second["fast"].stats.counters
+    )
+
+
+# ---------------------------------------------------------------------------
+# mid-run halts (the fault injector's entry point)
+# ---------------------------------------------------------------------------
+
+
+def _halted_state(engine: str, halt_cycle: int):
+    sim = build_sim("queue", Scheme.PROTEUS, SEEDS[0], engine)
+    sim.engine.halt_at_cycle(halt_cycle)
+    with pytest.raises(SimulationHalted) as excinfo:
+        sim.run()
+    return sim, excinfo.value
+
+
+@pytest.mark.parametrize("halt_cycle", (1000, 7777, 20000))
+def test_mid_run_halt_is_exact_and_identical(halt_cycle):
+    """A halt mid-quantum forces an exact split: both engines stop at
+    precisely the requested cycle with identical counters."""
+    ref_sim, ref_halt = _halted_state("reference", halt_cycle)
+    fast_sim, fast_halt = _halted_state("fast", halt_cycle)
+    assert ref_halt.cycle == fast_halt.cycle == halt_cycle
+    assert ref_sim.engine.cycle == fast_sim.engine.cycle == halt_cycle
+    assert dict(ref_sim.stats.counters) == dict(fast_sim.stats.counters)
+    assert list(ref_sim.stats.counters) == list(fast_sim.stats.counters)
+
+
+# ---------------------------------------------------------------------------
+# fallbacks and validation
+# ---------------------------------------------------------------------------
+
+
+def test_tracer_forces_reference_loop():
+    """Observability tracing needs per-event callbacks; a traced run on
+    the fast engine uses the reference loop and still matches."""
+    from repro.obs.tracer import Tracer
+
+    traces = generate_traces(
+        WORKLOADS["queue"], threads=1, seed=SEEDS[0], **SIZING
+    )
+    config = fast_nvm_config(cores=1).replace(engine="fast")
+    tracer = Tracer()
+    traced = Simulator(config, Scheme.PROTEUS, traces, tracer=tracer)
+    result = traced.run()
+    plain = build_sim("queue", Scheme.PROTEUS, SEEDS[0], "reference")
+    reference = plain.run()
+    assert result.cycles == reference.cycles
+    assert dict(result.stats.counters) == dict(reference.stats.counters)
+
+
+def test_engine_knob_is_validated():
+    with pytest.raises(ValueError, match="engine"):
+        fast_nvm_config(cores=1).replace(engine="warp")

@@ -1,0 +1,104 @@
+"""Fault injection and sampled simulation under the fast engine.
+
+The fast driver advances the clock in multi-cycle quanta, so anything
+that must land on an *exact* cycle — a fault plan's ``cycle`` trigger,
+the sampler's per-interval measurement windows — forces a quantum
+split.  These tests hold that the split is exact: a crash under the
+fast engine wrecks the machine into the same :class:`MachineState` as
+the reference engine, whole campaigns reach identical verdicts, and
+``run_sampled`` produces identical per-interval samples.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.schemes import Scheme
+from repro.faults import FaultPlan, Trigger, run_crash_case
+from repro.faults.campaign import run_campaign
+from repro.faults.tracker import ThreadFunctional
+from repro.sim.config import fast_nvm_config
+from repro.workloads import QueueWorkload
+from repro.workloads.base import generate_traces
+
+SIZING = dict(threads=1, seed=7, init_ops=12, sim_ops=6)
+
+
+def _crash_case(engine: str, plan: FaultPlan):
+    traces = generate_traces(QueueWorkload, **SIZING)
+    models = {
+        trace.thread_id: ThreadFunctional(trace, Scheme.PROTEUS)
+        for trace in traces
+    }
+    config = fast_nvm_config(cores=1).replace(engine=engine)
+    return run_crash_case(Scheme.PROTEUS, traces, models, plan, config=config)
+
+
+@pytest.mark.parametrize("crash_cycle", (2000, 12345))
+def test_cycle_trigger_forces_exact_quantum_split(crash_cycle):
+    """A mid-quantum cycle trigger halts at precisely the requested
+    cycle, and the wreckage is identical to the reference engine's."""
+    plan = FaultPlan(seed=3, crash=Trigger("cycle", crash_cycle))
+    reference = _crash_case("reference", plan)
+    fast = _crash_case("fast", plan)
+    assert reference.crashed and fast.crashed
+    assert reference.machine.cycle == fast.machine.cycle == crash_cycle
+    # MachineState is a plain dataclass: full equality covers queue
+    # occupancies, per-core log state, durability census, NVM write
+    # counts, and trigger counts.
+    assert reference.machine == fast.machine
+    assert reference.outcome == fast.outcome
+    assert reference.ks == fast.ks
+
+
+def test_event_trigger_identical_under_both_engines():
+    """Occurrence-counted triggers (here: the Nth WPQ admission) depend
+    on exact event order, not just the clock."""
+    plan = FaultPlan(seed=3, crash=Trigger("wpq-admit", 40))
+    reference = _crash_case("reference", plan)
+    fast = _crash_case("fast", plan)
+    assert reference.machine == fast.machine
+    assert (reference.outcome, reference.ks) == (fast.outcome, fast.ks)
+
+
+def test_campaign_verdict_identical_under_both_engines():
+    outcomes = {}
+    for engine in ("reference", "fast"):
+        config = fast_nvm_config(cores=1).replace(engine=engine)
+        result = run_campaign(
+            Scheme.PROTEUS, "QE", crashes=6, mode="none", config=config,
+            **SIZING,
+        )
+        assert result.passed
+        outcomes[engine] = [
+            (case.outcome, case.ks, case.machine.cycle) for case in result.cases
+        ]
+    assert outcomes["reference"] == outcomes["fast"]
+
+
+def test_run_sampled_identical_under_both_engines():
+    """SMARTS sampling restores checkpoints and measures windows; every
+    per-interval sample must match across engines (the sampler passes
+    the cell's engine through to the restored machines)."""
+    from repro.parallel.cellspec import CellSpec
+    from repro.snapshot import SamplingParams, run_sampled
+
+    params = SamplingParams(intervals=3, warmup_ops=5, measure_ops=10)
+    reports = {}
+    for engine in ("reference", "fast"):
+        cell = CellSpec(
+            workload="QE",
+            scheme=Scheme.PROTEUS,
+            config=fast_nvm_config(cores=1).replace(engine=engine),
+            threads=1,
+            seed=11,
+            init_ops=32,
+            sim_ops=40,
+        )
+        reports[engine] = run_sampled(cell, params, strict=False)
+    reference, fast = reports["reference"], reports["fast"]
+    assert reference.offsets == fast.offsets
+    assert set(reference.estimates) == set(fast.estimates)
+    for name, estimate in reference.estimates.items():
+        assert estimate.samples == fast.estimates[name].samples, name
+        assert estimate.mean == fast.estimates[name].mean
